@@ -1,0 +1,142 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Each test isolates one decision: the objective weight lambda, the
+path-programmability counting strategy, PM's phase 2 (and its order),
+the delay constraint, and the controller capacity level.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablation import (
+    capacity_sweep,
+    counter_strategy_comparison,
+    delay_constraint_ablation,
+    lambda_sweep,
+    phase2_ablation,
+)
+from repro.experiments.report import render_table
+from repro.pm.algorithm import solve_pm
+
+
+def test_lambda_sweep_report(benchmark, context, capsys):
+    """obj1 (r) keeps priority while lambda stays under the safe bound."""
+    rows = benchmark.pedantic(
+        lambda_sweep, args=(context,),
+        kwargs={"multipliers": (0.5, 1.0, 1000.0), "time_limit_s": 120.0},
+        rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print("=== Ablation: objective weight lambda ===")
+        print(
+            render_table(
+                ("multiplier", "lambda", "least r", "total"),
+                [(r["multiplier"], f"{r['lambda']:.2e}", r["least"], r["total"]) for r in rows],
+            )
+        )
+    by_multiplier = {r["multiplier"]: r for r in rows}
+    # Safe weights preserve the optimal least programmability.
+    assert by_multiplier[0.5]["least"] == by_multiplier[1.0]["least"]
+    # An oversized weight may trade r away for raw total; it must never
+    # produce *more* r, and its total dominates.
+    assert by_multiplier[1000.0]["least"] <= by_multiplier[1.0]["least"]
+    assert by_multiplier[1000.0]["total"] >= by_multiplier[1.0]["total"]
+
+
+def test_counter_strategy_report(benchmark, capsys):
+    """Algorithm ordering survives the counting-strategy choice."""
+    rows = benchmark.pedantic(counter_strategy_comparison, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print("=== Ablation: path-count strategy (case (13, 20)) ===")
+        print(
+            render_table(
+                ("strategy", "algorithm", "least r", "total", "recovered %"),
+                [
+                    (r["strategy"], r["algorithm"], r["least"], r["total"], f"{r['recovered_pct']:.1f}")
+                    for r in rows
+                ],
+            )
+        )
+    by_key = {(r["strategy"], r["algorithm"]): r for r in rows}
+    for strategy in ("lfa", "bounded", "dag"):
+        pm = by_key[(strategy, "pm")]
+        retro = by_key[(strategy, "retroflow")]
+        assert pm["total"] > retro["total"], strategy
+        assert pm["recovered_pct"] >= retro["recovered_pct"], strategy
+
+
+def test_phase2_report(benchmark, context, capsys):
+    """Dropping phase 2 keeps r but loses total programmability."""
+    rows = benchmark.pedantic(phase2_ablation, args=(context,), rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print("=== Ablation: PM phase 2 (case (13, 20)) ===")
+        print(
+            render_table(
+                ("variant", "least r", "total", "resource used"),
+                [(r["variant"], r["least"], r["total"], r["resource_used"]) for r in rows],
+            )
+        )
+    by_variant = {r["variant"]: r for r in rows}
+    full = by_variant["pm (paper order)"]
+    without = by_variant["pm (no phase 2)"]
+    assert without["least"] == full["least"]  # balance unaffected
+    assert without["total"] <= full["total"]  # saturation lost
+    assert by_variant["pm (greedy order)"]["total"] >= full["total"]
+
+
+def test_delay_constraint_report(benchmark, context, capsys):
+    """PM-strict stays under G but recovers less total programmability."""
+    rows = benchmark.pedantic(delay_constraint_ablation, args=(context,), rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print("=== Ablation: Eq. (14) delay budget (case (13, 20)) ===")
+        print(
+            render_table(
+                ("variant", "total", "delay (ms)", "G (ms)", "overhead (ms)"),
+                [
+                    (
+                        r["variant"],
+                        r["total"],
+                        f"{r['total_delay_ms']:.0f}",
+                        f"{r['ideal_delay_ms']:.0f}",
+                        f"{r['per_flow_overhead_ms']:.3f}",
+                    )
+                    for r in rows
+                ],
+            )
+        )
+    by_variant = {r["variant"]: r for r in rows}
+    strict = by_variant["pm-strict"]
+    loose = by_variant["pm"]
+    assert strict["total_delay_ms"] <= strict["ideal_delay_ms"] + 1e-6
+    assert strict["total"] <= loose["total"]
+
+
+def test_capacity_sweep_report(benchmark, capsys):
+    """Recovery crosses into full around the paper's capacity of 500."""
+    rows = benchmark.pedantic(capacity_sweep, kwargs={"capacities": (420, 500, 600)}, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print("=== Ablation: controller capacity (case (5, 13, 20)) ===")
+        print(
+            render_table(
+                ("capacity", "algorithm", "recovered %", "total"),
+                [
+                    (r["capacity"], r["algorithm"], f"{r['recovered_pct']:.1f}", r["total"])
+                    for r in rows
+                ],
+            )
+        )
+    pm_rows = {r["capacity"]: r for r in rows if r["algorithm"] == "pm"}
+    # Monotone in capacity, with full recovery at the high end.
+    fractions = [pm_rows[c]["recovered_pct"] for c in (420, 500, 600)]
+    assert fractions == sorted(fractions)
+    assert fractions[-1] == 100.0
+
+
+def test_benchmark_pm_strict(benchmark, instance_13_20):
+    """Time the delay-enforcing PM variant (the extra budget checks)."""
+    solution = benchmark(solve_pm, instance_13_20, enforce_delay=True)
+    assert solution.feasible

@@ -1,0 +1,44 @@
+"""Fig. 4 — one controller failure (6 cases, four algorithms).
+
+Regenerates every subfigure series: (a) programmability distribution,
+(b) total programmability relative to RetroFlow, (c) % recovered flows,
+(d) per-flow communication overhead.  Prints the full report and
+benchmarks the PM heuristic on a single-failure instance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.control.failures import FailureScenario
+from repro.experiments.figures import failure_figure_data
+from repro.experiments.report import render_figure
+from repro.pm.algorithm import solve_pm
+
+
+def test_fig4_report(benchmark, context, sweep_1, capsys):
+    """Print Fig. 4 and assert its paper shape."""
+    data = benchmark.pedantic(
+        failure_figure_data, args=(context, 1), kwargs={"results": sweep_1},
+        rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(render_figure(data))
+    # Paper: under one failure every algorithm recovers all flows with
+    # identical programmability.
+    for case in data["cases"]:
+        pm = case["algorithms"]["pm"]
+        for name, record in case["algorithms"].items():
+            assert record["feasible"], name
+            assert record["recovered_flows_pct"] == pytest.approx(100.0), name
+            assert (
+                record["least_programmability"] == pm["least_programmability"]
+            ), name
+
+
+def test_benchmark_pm_single_failure(benchmark, context):
+    """Time PM on the (13) single-failure instance."""
+    instance = context.instance(FailureScenario(frozenset({13})))
+    solution = benchmark(solve_pm, instance)
+    assert solution.feasible

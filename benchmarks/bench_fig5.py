@@ -1,0 +1,51 @@
+"""Fig. 5 — two controller failures (15 cases, four algorithms).
+
+Regenerates all six subfigures: (a) programmability box stats, (b) total
+programmability vs RetroFlow, (c) % recovered flows, (d) recovered
+switches, (e) control resource used, (f) per-flow overhead.  Prints the
+report and benchmarks PM on the flagship (13, 20) instance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import failure_figure_data, headline_ratios
+from repro.experiments.report import render_figure
+from repro.pm.algorithm import solve_pm
+
+
+def test_fig5_report(benchmark, context, sweep_2, capsys):
+    """Print Fig. 5 and assert the paper's two-failure shapes."""
+    data = benchmark.pedantic(
+        failure_figure_data, args=(context, 2), kwargs={"results": sweep_2},
+        rounds=1, iterations=1,
+    )
+    ratios = headline_ratios(data)
+    with capsys.disabled():
+        print()
+        print(render_figure(data))
+        print(
+            f"\nPM vs RetroFlow total programmability: "
+            f"{ratios['min_pct']:.0f}%..{ratios['max_pct']:.0f}% "
+            f"(paper: 105%..315%), max at {ratios['argmax_case']} "
+            f"(paper: (13, 20))"
+        )
+    for case in data["cases"]:
+        algorithms = case["algorithms"]
+        # (a)/(c): PM and PG recover everything with least programmability 2;
+        # RetroFlow leaves flows behind (least 0).
+        assert algorithms["pm"]["recovered_flows_pct"] == pytest.approx(100.0)
+        assert algorithms["pg"]["recovered_flows_pct"] == pytest.approx(100.0)
+        assert algorithms["pm"]["least_programmability"] >= 2
+        assert algorithms["retroflow"]["least_programmability"] == 0
+        assert algorithms["retroflow"]["recovered_flows_pct"] < 100.0
+    # (b): the flagship case with the unmappable hub switch wins.
+    assert ratios["argmax_case"] == "(13, 20)"
+    assert ratios["max_pct"] > 120.0
+
+
+def test_benchmark_pm_two_failures(benchmark, instance_13_20):
+    """Time PM on the paper's flagship (13, 20) instance."""
+    solution = benchmark(solve_pm, instance_13_20)
+    assert solution.feasible

@@ -1,0 +1,40 @@
+"""Fig. 7 — PM computation time as a percentage of Optimal's.
+
+The paper reports means of 2.54 %, 1.77 % and 2.18 % under one, two and
+three failures.  We reuse the shared sweeps (which already solved both
+algorithms on every case), print the comparison, and benchmark the exact
+solver on the flagship case so the absolute solver cost is tracked too.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import fig7_data
+from repro.experiments.report import render_fig7
+from repro.fmssm.optimal import solve_optimal
+
+
+def test_fig7_report(benchmark, context, sweep_1, sweep_2, sweep_3, capsys):
+    """Print Fig. 7 and assert PM's speed advantage."""
+    data = benchmark.pedantic(
+        fig7_data, args=(context,),
+        kwargs={"results_by_n": {1: sweep_1, 2: sweep_2, 3: sweep_3}},
+        rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(render_fig7(data))
+        print("(paper means: 2.54%, 1.77%, 2.18%)")
+    for n_failures in (1, 2, 3):
+        mean = data["mean_pct"][n_failures]
+        assert mean is not None
+        # Paper: ~2%; assert the order of magnitude (well under 10%).
+        assert mean < 10.0, f"{n_failures} failures: PM at {mean:.2f}% of Optimal"
+
+
+def test_benchmark_optimal_flagship(benchmark, instance_13_20):
+    """Time the exact P' solve on (13, 20) — the Fig. 7 denominator."""
+    benchmark.pedantic(
+        lambda: solve_optimal(instance_13_20, time_limit_s=300.0),
+        iterations=1,
+        rounds=1,
+    )

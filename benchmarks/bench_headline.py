@@ -1,0 +1,77 @@
+"""The paper's headline claims, asserted end to end.
+
+Abstract: "PM outperforms existing switch-level solutions by maintaining
+balanced programmability and increasing the total programmability of
+recovered offline flows up to 315% under two controller failures and
+340% under three controller failures."
+
+Our reconstruction reproduces the *shape* of these claims — PM dominates
+RetroFlow everywhere, with the maximum advantage at exactly the cases
+the paper highlights ((13, 20) and the three-failure hub cases) — at
+smaller absolute factors (see EXPERIMENTS.md for the gap analysis).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import failure_figure_data, headline_ratios
+from repro.experiments.report import render_table
+from repro.pm.algorithm import solve_pm
+
+
+def test_headline_report(benchmark, context, sweep_2, sweep_3, capsys):
+    """Print and assert the headline PM-vs-RetroFlow ratios."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for n_failures, sweep, paper_max in ((2, sweep_2, 315.0), (3, sweep_3, 340.0)):
+        data = failure_figure_data(context, n_failures, results=sweep)
+        ratios = headline_ratios(data)
+        rows.append(
+            (
+                f"{n_failures} failures",
+                f"{ratios['min_pct']:.0f}%",
+                f"{ratios['max_pct']:.0f}%",
+                f"{ratios['mean_pct']:.0f}%",
+                ratios["argmax_case"],
+                f"{paper_max:.0f}%",
+            )
+        )
+    with capsys.disabled():
+        print()
+        print("=== Headline: PM total programmability vs RetroFlow ===")
+        print(
+            render_table(
+                ("scenario", "min", "max", "mean", "argmax case", "paper max"),
+                rows,
+            )
+        )
+    # Shape: the advantage grows with failure severity and the flagship
+    # two-failure case is (13, 20), as in the paper.
+    two, three = rows
+    assert two[4] == "(13, 20)"
+    assert float(three[3].rstrip("%")) > float(two[3].rstrip("%"))
+
+
+def test_balanced_programmability_claim(benchmark, context, sweep_2, capsys):
+    """Abstract claim: PM maintains balanced programmability — every
+    recoverable flow is recovered to at least the short-path bound (2)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for result in sweep_2:
+        evaluation = result.evaluations["pm"]
+        values = evaluation.programmability_values()
+        assert min(values) >= 2
+        assert evaluation.least_programmability >= 2
+
+
+def test_benchmark_pm_all_two_failure_cases(benchmark, context):
+    """Time PM across all 15 two-failure instances (one full Fig. 5 row)."""
+    from repro.control.failures import enumerate_failure_scenarios
+
+    instances = [
+        context.instance(s) for s in enumerate_failure_scenarios(context.plane, 2)
+    ]
+
+    def run_all():
+        return [solve_pm(instance) for instance in instances]
+
+    solutions = benchmark(run_all)
+    assert len(solutions) == 15

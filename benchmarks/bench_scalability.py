@@ -1,0 +1,96 @@
+"""Scalability beyond the paper: PM and Optimal vs network size.
+
+The paper motivates PM as the practical alternative to exact solving
+("as the network size increases, the solution space could increase
+significantly").  This bench quantifies that on synthetic Waxman WANs of
+growing size: PM stays in milliseconds while the exact solve grows
+sharply.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.control.failures import FailureScenario
+from repro.experiments.report import render_table
+from repro.experiments.scenarios import custom_context
+from repro.fmssm.optimal import solve_optimal
+from repro.pm.algorithm import solve_pm
+
+SIZES = (10, 20, 30, 40)
+
+
+def _context_for(n: int):
+    topology = __import__("repro.topology.generators", fromlist=["waxman_topology"]).waxman_topology(
+        n, alpha=0.6, beta=0.35, seed=1
+    )
+    sites = topology.nodes[: max(3, n // 8)]
+    # Capacity sized to baseline load + WAN-like slack.
+    from repro.flows.demands import all_pairs_flows
+    from repro.flows.paths import switch_flow_counts
+
+    flows = all_pairs_flows(topology, weight="hops")
+    gamma = switch_flow_counts(flows)
+    worst = max(
+        sum(gamma[s] for s in members)
+        for members in __import__(
+            "repro.topology.partition", fromlist=["nearest_site_partition"]
+        ).nearest_site_partition(topology, sites).values()
+    )
+    return custom_context(topology, controller_sites=sites, capacity=int(worst * 1.5))
+
+
+@pytest.fixture(scope="module", params=SIZES)
+def sized_instance(request):
+    context = _context_for(request.param)
+    failed = context.plane.controller_ids[0]
+    return request.param, context.instance(FailureScenario(frozenset({failed})))
+
+
+def test_scalability_report(capsys, benchmark):
+    """PM time grows mildly with size; the exact solver grows sharply."""
+    rows = []
+
+    def sweep():
+        for n in SIZES:
+            context = _context_for(n)
+            failed = context.plane.controller_ids[0]
+            instance = context.instance(FailureScenario(frozenset({failed})))
+            start = time.perf_counter()
+            solve_pm(instance)
+            pm_s = time.perf_counter() - start
+            start = time.perf_counter()
+            optimal = solve_optimal(instance, time_limit_s=60.0)
+            opt_s = time.perf_counter() - start
+            rows.append(
+                (
+                    n,
+                    instance.n_flows,
+                    len(instance.pairs),
+                    f"{1000 * pm_s:.1f}",
+                    f"{opt_s:.2f}" if optimal.feasible else "n/a",
+                )
+            )
+        return rows
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print("=== Scalability: one failure on Waxman WANs ===")
+        print(
+            render_table(
+                ("nodes", "offline flows", "pairs", "pm (ms)", "optimal (s)"),
+                rows,
+            )
+        )
+    # PM stays fast even at the largest size.
+    assert float(rows[-1][3]) < 1000.0
+
+
+def test_benchmark_pm_by_size(benchmark, sized_instance):
+    """Per-size PM timing series (appears as one bench per size)."""
+    n, instance = sized_instance
+    solution = benchmark(solve_pm, instance)
+    assert solution.feasible

@@ -1,0 +1,72 @@
+"""Successive-failure experiment (the paper's "fail successively" case).
+
+Controllers go down one after another; after each loss, recovery is
+recomputed from scratch.  This bench prints the degradation trajectory —
+spare capacity, recoverable flows, least programmability, recovery
+fraction and fairness — for PM and RetroFlow.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.report import render_table
+from repro.experiments.successive import run_successive
+
+ORDER = (13, 20, 5)
+
+
+def test_successive_report(benchmark, context, capsys):
+    """Print the per-stage degradation for PM vs RetroFlow."""
+
+    def run_both():
+        return {
+            name: run_successive(context, ORDER, algorithm=name)
+            for name in ("pm", "retroflow")
+        }
+
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    rows = []
+    for name, stages in results.items():
+        for stage in stages:
+            rows.append(
+                (
+                    name,
+                    "(" + ", ".join(str(c) for c in stage.failed) + ")",
+                    stage.total_spare,
+                    stage.recoverable_flows,
+                    stage.evaluation.least_programmability,
+                    f"{100 * stage.evaluation.recovery_fraction:.1f}%",
+                    f"{stage.fairness:.3f}",
+                )
+            )
+    with capsys.disabled():
+        print()
+        print(f"=== Successive failures {ORDER}: recovery recomputed per stage ===")
+        print(
+            render_table(
+                (
+                    "algorithm",
+                    "failed",
+                    "spare",
+                    "recoverable",
+                    "least r",
+                    "recovered",
+                    "fairness",
+                ),
+                rows,
+            )
+        )
+    pm_stages = results["pm"]
+    retro_stages = results["retroflow"]
+    # Spare capacity strictly shrinks with each failure.
+    spares = [s.total_spare for s in pm_stages]
+    assert spares == sorted(spares, reverse=True)
+    # PM holds 100% recovery until capacity runs short at stage 3.
+    assert pm_stages[0].evaluation.recovery_fraction == pytest.approx(1.0)
+    assert pm_stages[1].evaluation.recovery_fraction == pytest.approx(1.0)
+    assert pm_stages[2].evaluation.recovery_fraction > 0.9
+    # RetroFlow's balance degrades faster than PM's at every multi-failure stage.
+    for pm, retro in zip(pm_stages[1:], retro_stages[1:]):
+        assert pm.fairness > retro.fairness
+        assert pm.evaluation.recovery_fraction > retro.evaluation.recovery_fraction

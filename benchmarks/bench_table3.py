@@ -1,0 +1,36 @@
+"""Table III — default controllers / switches / flow counts.
+
+Regenerates the paper's Table III from the embedded ATT topology and the
+all-pairs hop-count workload, prints it next to the paper's values, and
+benchmarks the workload + count generation.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import render_table3
+from repro.experiments.tables import table3_data
+from repro.flows.demands import all_pairs_flows
+from repro.flows.paths import switch_flow_counts
+
+
+def test_table3_report(benchmark, context, capsys):
+    """Print the regenerated Table III (paper vs measured)."""
+    data = benchmark.pedantic(table3_data, args=(context,), rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(render_table3(data))
+    # Shape assertions: totals within 5 %, hub switch is 13.
+    assert abs(data["measured_total"] - data["paper_total"]) / data["paper_total"] < 0.05
+    hub = max(data["rows"], key=lambda r: r["flows"])
+    assert hub["switch"] == 13
+
+
+def test_benchmark_workload_generation(benchmark, context):
+    """Time the Table III pipeline: all-pairs flows + per-switch counts."""
+
+    def regenerate():
+        flows = all_pairs_flows(context.topology, weight="hops")
+        return switch_flow_counts(flows)
+
+    gamma = benchmark(regenerate)
+    assert sum(gamma.values()) > 2000

@@ -1,0 +1,53 @@
+"""Shared fixtures for the benchmark harness.
+
+The Optimal solver is the expensive part, so each failure sweep (with all
+four paper algorithms, Optimal included) runs exactly once per pytest
+session and is shared by every figure benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.control.failures import FailureScenario
+from repro.experiments.runner import PAPER_ALGORITHMS, run_failure_sweep
+from repro.experiments.scenarios import default_att_context
+
+#: Per-case ceiling for the exact solver in benchmarks.
+OPTIMAL_TIME_LIMIT_S = 120.0
+
+
+@pytest.fixture(scope="session")
+def context():
+    """The paper's default evaluation context."""
+    return default_att_context()
+
+
+@pytest.fixture(scope="session")
+def sweep_1(context):
+    """All 6 one-failure cases, all four algorithms."""
+    return run_failure_sweep(context, 1, PAPER_ALGORITHMS, OPTIMAL_TIME_LIMIT_S)
+
+
+@pytest.fixture(scope="session")
+def sweep_2(context):
+    """All 15 two-failure cases, all four algorithms."""
+    return run_failure_sweep(context, 2, PAPER_ALGORITHMS, OPTIMAL_TIME_LIMIT_S)
+
+
+@pytest.fixture(scope="session")
+def sweep_3(context):
+    """All 20 three-failure cases, all four algorithms."""
+    return run_failure_sweep(context, 3, PAPER_ALGORITHMS, OPTIMAL_TIME_LIMIT_S)
+
+
+@pytest.fixture(scope="session")
+def instance_13_20(context):
+    """The paper's flagship two-failure instance."""
+    return context.instance(FailureScenario(frozenset({13, 20})))
+
+
+@pytest.fixture(scope="session")
+def instance_5_13_20(context):
+    """A tight three-failure instance."""
+    return context.instance(FailureScenario(frozenset({5, 13, 20})))

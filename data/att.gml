@@ -1,0 +1,378 @@
+graph [
+  Network "ATT"
+  directed 0
+  node [
+    id 0
+    label "Seattle"
+    Latitude 47.6062
+    Longitude -122.3321
+  ]
+  node [
+    id 1
+    label "Portland"
+    Latitude 45.5152
+    Longitude -122.6784
+  ]
+  node [
+    id 2
+    label "Los Angeles"
+    Latitude 34.0522
+    Longitude -118.2437
+  ]
+  node [
+    id 3
+    label "San Diego"
+    Latitude 32.7157
+    Longitude -117.1611
+  ]
+  node [
+    id 4
+    label "Salt Lake City"
+    Latitude 40.7608
+    Longitude -111.891
+  ]
+  node [
+    id 5
+    label "Denver"
+    Latitude 39.7392
+    Longitude -104.9903
+  ]
+  node [
+    id 6
+    label "San Francisco"
+    Latitude 37.7749
+    Longitude -122.4194
+  ]
+  node [
+    id 7
+    label "San Jose"
+    Latitude 37.3382
+    Longitude -121.8863
+  ]
+  node [
+    id 8
+    label "Albuquerque"
+    Latitude 35.0844
+    Longitude -106.6504
+  ]
+  node [
+    id 9
+    label "Las Vegas"
+    Latitude 36.1699
+    Longitude -115.1398
+  ]
+  node [
+    id 10
+    label "Houston"
+    Latitude 29.7604
+    Longitude -95.3698
+  ]
+  node [
+    id 11
+    label "San Antonio"
+    Latitude 29.4241
+    Longitude -98.4936
+  ]
+  node [
+    id 12
+    label "Austin"
+    Latitude 30.2672
+    Longitude -97.7431
+  ]
+  node [
+    id 13
+    label "Dallas"
+    Latitude 32.7767
+    Longitude -96.797
+  ]
+  node [
+    id 14
+    label "El Paso"
+    Latitude 31.7619
+    Longitude -106.485
+  ]
+  node [
+    id 15
+    label "Kansas City"
+    Latitude 39.0997
+    Longitude -94.5786
+  ]
+  node [
+    id 16
+    label "Phoenix"
+    Latitude 33.4484
+    Longitude -112.074
+  ]
+  node [
+    id 17
+    label "Atlanta"
+    Latitude 33.749
+    Longitude -84.388
+  ]
+  node [
+    id 18
+    label "Orlando"
+    Latitude 28.5383
+    Longitude -81.3792
+  ]
+  node [
+    id 19
+    label "St. Louis"
+    Latitude 38.627
+    Longitude -90.1994
+  ]
+  node [
+    id 20
+    label "Chicago"
+    Latitude 41.8781
+    Longitude -87.6298
+  ]
+  node [
+    id 21
+    label "Washington DC"
+    Latitude 38.9072
+    Longitude -77.0369
+  ]
+  node [
+    id 22
+    label "New York"
+    Latitude 40.7128
+    Longitude -74.006
+  ]
+  node [
+    id 23
+    label "Philadelphia"
+    Latitude 39.9526
+    Longitude -75.1652
+  ]
+  node [
+    id 24
+    label "Boston"
+    Latitude 42.3601
+    Longitude -71.0589
+  ]
+  edge [
+    source 0
+    target 1
+  ]
+  edge [
+    source 0
+    target 4
+  ]
+  edge [
+    source 0
+    target 6
+  ]
+  edge [
+    source 0
+    target 20
+  ]
+  edge [
+    source 1
+    target 4
+  ]
+  edge [
+    source 1
+    target 6
+  ]
+  edge [
+    source 2
+    target 3
+  ]
+  edge [
+    source 2
+    target 6
+  ]
+  edge [
+    source 2
+    target 7
+  ]
+  edge [
+    source 2
+    target 9
+  ]
+  edge [
+    source 2
+    target 13
+  ]
+  edge [
+    source 2
+    target 16
+  ]
+  edge [
+    source 3
+    target 16
+  ]
+  edge [
+    source 4
+    target 5
+  ]
+  edge [
+    source 4
+    target 9
+  ]
+  edge [
+    source 5
+    target 6
+  ]
+  edge [
+    source 5
+    target 8
+  ]
+  edge [
+    source 5
+    target 13
+  ]
+  edge [
+    source 5
+    target 15
+  ]
+  edge [
+    source 5
+    target 20
+  ]
+  edge [
+    source 6
+    target 7
+  ]
+  edge [
+    source 6
+    target 20
+  ]
+  edge [
+    source 7
+    target 9
+  ]
+  edge [
+    source 8
+    target 13
+  ]
+  edge [
+    source 8
+    target 14
+  ]
+  edge [
+    source 8
+    target 16
+  ]
+  edge [
+    source 9
+    target 16
+  ]
+  edge [
+    source 10
+    target 11
+  ]
+  edge [
+    source 10
+    target 12
+  ]
+  edge [
+    source 10
+    target 13
+  ]
+  edge [
+    source 10
+    target 17
+  ]
+  edge [
+    source 10
+    target 18
+  ]
+  edge [
+    source 11
+    target 12
+  ]
+  edge [
+    source 11
+    target 14
+  ]
+  edge [
+    source 12
+    target 13
+  ]
+  edge [
+    source 13
+    target 14
+  ]
+  edge [
+    source 13
+    target 15
+  ]
+  edge [
+    source 13
+    target 17
+  ]
+  edge [
+    source 13
+    target 19
+  ]
+  edge [
+    source 14
+    target 16
+  ]
+  edge [
+    source 15
+    target 19
+  ]
+  edge [
+    source 15
+    target 20
+  ]
+  edge [
+    source 17
+    target 18
+  ]
+  edge [
+    source 17
+    target 19
+  ]
+  edge [
+    source 17
+    target 21
+  ]
+  edge [
+    source 17
+    target 22
+  ]
+  edge [
+    source 18
+    target 21
+  ]
+  edge [
+    source 19
+    target 20
+  ]
+  edge [
+    source 19
+    target 21
+  ]
+  edge [
+    source 20
+    target 21
+  ]
+  edge [
+    source 20
+    target 22
+  ]
+  edge [
+    source 20
+    target 24
+  ]
+  edge [
+    source 21
+    target 22
+  ]
+  edge [
+    source 21
+    target 23
+  ]
+  edge [
+    source 22
+    target 23
+  ]
+  edge [
+    source 22
+    target 24
+  ]
+]

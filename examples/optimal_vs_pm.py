@@ -1,0 +1,72 @@
+"""Exact solving vs the PM heuristic: quality and cost side by side.
+
+Solves the flagship (13, 20) failure with the weighted Optimal (problem
+P'), the two-stage lexicographic Optimal, and the PM heuristic, showing
+the paper's trade-off: PM reaches the exact solvers' balanced
+programmability at a tiny fraction of their runtime — and keeps working
+in capacity-short cases where the exact solvers report infeasibility.
+
+Run with::
+
+    python examples/optimal_vs_pm.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    FailureScenario,
+    default_att_context,
+    evaluate_solution,
+    solve_optimal,
+    solve_pm,
+    solve_two_stage,
+)
+from repro.experiments.report import render_table
+
+
+def row(name, evaluation, solution):
+    if not evaluation.feasible:
+        return (name, "n/a", "n/a", "n/a", f"{solution.solve_time_s:.2f}s")
+    return (
+        name,
+        evaluation.least_programmability,
+        evaluation.total_programmability,
+        f"{100 * evaluation.recovery_fraction:.1f}%",
+        f"{solution.solve_time_s:.3f}s",
+    )
+
+
+def main() -> None:
+    context = default_att_context()
+
+    print("=== moderate case: failure (13, 20) ===")
+    instance = context.instance(FailureScenario(frozenset({13, 20})))
+    rows = []
+    for name, solver in (
+        ("optimal (weighted)", lambda: solve_optimal(instance, time_limit_s=300)),
+        ("optimal (two-stage)", lambda: solve_two_stage(instance, time_limit_s=300)),
+        ("pm (heuristic)", lambda: solve_pm(instance)),
+    ):
+        solution = solver()
+        rows.append(row(name, evaluate_solution(instance, solution), solution))
+    print(render_table(("solver", "least r", "total pro", "recovered", "time"), rows))
+
+    print("\n=== capacity-short case: failure (5, 13, 20) ===")
+    tight = context.instance(FailureScenario(frozenset({5, 13, 20})))
+    rows = []
+    for name, solver in (
+        ("optimal (weighted)", lambda: solve_optimal(tight, time_limit_s=120)),
+        ("pm (heuristic)", lambda: solve_pm(tight)),
+    ):
+        solution = solver()
+        rows.append(row(name, evaluate_solution(tight, solution), solution))
+    print(render_table(("solver", "least r", "total pro", "recovered", "time"), rows))
+    print(
+        "\nWith recoverable flows exceeding the controllers' spare capacity,"
+        "\nthe exact solver (under the paper's full-recovery requirement) has"
+        "\nno result — the heuristic still recovers nearly everything."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Predictable recovery: how long until programmability is back?
+
+The paper's title promises *predictable* recovery.  This example runs
+the recovery-timeline simulation for PM, RetroFlow and PG after a double
+failure: failure detection, recovery computation, master handover, and
+sequential flow-mod installation — with PG paying the FlowVisor
+middle-layer processing per request (the paper's reliability argument
+against flow-level middle layers).
+
+Run with::
+
+    python examples/recovery_timeline.py
+"""
+
+from __future__ import annotations
+
+from repro import FailureScenario, default_att_context, get_algorithm
+from repro.experiments.report import render_table
+from repro.simulation import TimelineParameters, simulate_recovery_timeline
+from repro.types import FLOWVISOR_PROCESSING_MS
+
+
+def main() -> None:
+    context = default_att_context()
+    scenario = FailureScenario(frozenset({13, 20}))
+    instance = context.instance(scenario)
+    print(f"Failure {scenario.name}: {instance.describe()}\n")
+
+    rows = []
+    for name in ("retroflow", "pg", "pm"):
+        solution = get_algorithm(name)(instance)
+        parameters = TimelineParameters(
+            detection_delay_ms=100.0,
+            middle_layer_ms=FLOWVISOR_PROCESSING_MS if name == "pg" else 0.0,
+        )
+        report = simulate_recovery_timeline(instance, solution, parameters)
+        rows.append(
+            (
+                name,
+                len(report.flow_recovered_ms),
+                f"{report.computation_done_ms:.1f}",
+                f"{report.mean_flow_recovery_ms:.0f}",
+                f"{report.p95_flow_recovery_ms:.0f}",
+                f"{report.max_flow_recovery_ms:.0f}",
+                f"{report.completed_ms:.0f}",
+            )
+        )
+    print(
+        render_table(
+            (
+                "algorithm",
+                "flows restored",
+                "compute done (ms)",
+                "mean (ms)",
+                "p95 (ms)",
+                "max (ms)",
+                "all done (ms)",
+            ),
+            rows,
+        )
+    )
+    print(
+        "\nPM and PG restore the same flow set; RetroFlow finishes earlier"
+        "\nonly because it restores far fewer flows.  PG spreads installs"
+        "\nacross controllers through its middle layer (at +0.48 ms per"
+        "\nrequest and an extra device to fail), while PM's switch-level"
+        "\nmapping serializes the hub switch's installs on one controller —"
+        "\nthe timeline cost of avoiding the middle layer."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Successive controller failures: recovery recomputed after each loss.
+
+The paper notes controllers "may fail simultaneously or fail
+successively".  This example fails controllers one at a time
+(13 -> 20 -> 5), recomputes PM recovery at each stage, and tracks how
+programmability and recovery degrade as the control plane shrinks —
+including the stage where spare capacity can no longer cover every
+recoverable flow.
+
+Run with::
+
+    python examples/successive_failures.py
+"""
+
+from __future__ import annotations
+
+from repro import default_att_context, evaluate_solution, solve_pm, successive_scenarios
+from repro.experiments.report import render_table
+
+
+def main() -> None:
+    context = default_att_context()
+    order = [13, 20, 5]
+    print(f"controllers failing in order: {order}\n")
+
+    rows = []
+    for scenario in successive_scenarios(order):
+        instance = context.instance(scenario)
+        evaluation = evaluate_solution(instance, solve_pm(instance))
+        overloaded = len(instance.recoverable_flows) > instance.total_spare
+        rows.append(
+            (
+                scenario.name,
+                instance.n_switches,
+                instance.n_flows,
+                instance.total_spare,
+                len(instance.recoverable_flows),
+                evaluation.least_programmability,
+                f"{100 * evaluation.recovery_fraction:.1f}%",
+                "yes" if overloaded else "no",
+            )
+        )
+    print(
+        render_table(
+            (
+                "failed",
+                "offline sw",
+                "offline flows",
+                "spare",
+                "recoverable",
+                "least r",
+                "recovered",
+                "capacity short",
+            ),
+            rows,
+        )
+    )
+    print(
+        "\nEach stage is re-solved from scratch: PM always produces a plan,"
+        "\nand once recoverable flows exceed total spare capacity (final"
+        "\nstage), recovery becomes partial — the regime where the paper's"
+        "\nOptimal has no result but the heuristic still degrades gracefully."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Why programmability matters: relieving a traffic surge after failures.
+
+The paper's introduction motivates path programmability with network
+performance under traffic variation.  This example quantifies that
+end-to-end: controllers 13 and 20 fail, traffic through the Dallas
+region surges 3x, and the network must shift load off the hottest links —
+but only *programmable* flows can move.  We compare the achievable
+max-link-utilization (MLU) when the failed region was recovered by PM,
+by RetroFlow, and not at all.
+
+Run with::
+
+    python examples/traffic_surge.py
+"""
+
+from __future__ import annotations
+
+from repro import FailureScenario, Flow, default_att_context, get_algorithm
+from repro.experiments.report import render_table
+from repro.fmssm.solution import RecoverySolution
+from repro.te import (
+    TrafficEngineer,
+    betweenness_capacities,
+    controllable_nodes,
+    max_link_utilization,
+    programmable_switches,
+)
+
+SURGE_NODE = 13  # Dallas
+SURGE_FACTOR = 3.0
+
+
+def main() -> None:
+    context = default_att_context()
+    scenario = FailureScenario(frozenset({13, 20}))
+    instance = context.instance(scenario)
+
+    # Traffic surge: flows through Dallas triple their demand.
+    surged = {
+        f.flow_id: Flow(
+            f.src, f.dst, f.path,
+            demand=SURGE_FACTOR if SURGE_NODE in f.path else 1.0,
+        )
+        for f in context.flows
+    }
+    capacities = betweenness_capacities(context.topology, base=60.0, scale=4.0)
+    baseline = max_link_utilization(context.topology, surged.values(), capacities)
+    print(
+        f"Failure {scenario.name}; {SURGE_FACTOR:.0f}x surge through "
+        f"{context.topology.label(SURGE_NODE)}."
+    )
+    print(f"MLU with no rerouting at all: {baseline:.3f}\n")
+
+    candidates = [("no recovery", RecoverySolution(algorithm="none"))]
+    for name in ("retroflow", "pg", "pm"):
+        candidates.append((name, get_algorithm(name)(instance)))
+
+    rows = []
+    for name, solution in candidates:
+        programmable = programmable_switches(instance, solution, surged.values())
+        nodes = controllable_nodes(context.plane, scenario, solution)
+        engineer = TrafficEngineer(context.topology, capacities, allowed_nodes=nodes)
+        result = engineer.relieve(surged, programmable, max_actions=60)
+        rows.append(
+            (
+                name,
+                f"{result.mlu_after:.3f}",
+                f"{100 * result.improvement:.1f}%",
+                len(result.actions),
+            )
+        )
+    print(render_table(("recovered by", "MLU after TE", "relief", "reroutes"), rows))
+    print(
+        "\nOnly flows left programmable by the recovery can be moved: the"
+        "\nbetter the programmability recovery, the more congestion the"
+        "\nnetwork can shed — the application-level payoff of PM."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Common interface and registry for recovery algorithms.
+
+Every algorithm — PM, Optimal, and the baselines — is exposed behind the
+same callable protocol so the experiment runner treats them uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from repro.fmssm.instance import FMSSMInstance
+from repro.fmssm.solution import RecoverySolution
+
+__all__ = ["RecoveryAlgorithm", "register_algorithm", "get_algorithm", "list_algorithms"]
+
+
+class RecoveryAlgorithm(Protocol):
+    """A recovery algorithm: instance in, solution out."""
+
+    def __call__(self, instance: FMSSMInstance) -> RecoverySolution: ...
+
+
+_REGISTRY: dict[str, Callable[[FMSSMInstance], RecoverySolution]] = {}
+
+
+def register_algorithm(
+    name: str, algorithm: Callable[[FMSSMInstance], RecoverySolution]
+) -> None:
+    """Register ``algorithm`` under ``name`` (overwrites silently)."""
+    _REGISTRY[name] = algorithm
+
+
+def get_algorithm(name: str) -> Callable[[FMSSMInstance], RecoverySolution]:
+    """Look up a registered algorithm by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def list_algorithms() -> tuple[str, ...]:
+    """Names of all registered algorithms, sorted."""
+    return tuple(sorted(_REGISTRY))

@@ -1,0 +1,131 @@
+"""Controller model: identity, placement, capacity, and load accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import CapacityError, ControlPlaneError
+from repro.types import ControllerId, NodeId
+
+__all__ = ["Controller", "ControllerState"]
+
+
+@dataclass(frozen=True, slots=True)
+class Controller:
+    """Static description of one SDN controller.
+
+    Attributes
+    ----------
+    controller_id:
+        Identifier; by the paper's convention this equals the node id the
+        controller is co-located with.
+    site:
+        Node id where the controller is physically placed (used for
+        switch-controller propagation delays).
+    capacity:
+        Total control resource — "the number of flows that the controller
+        can normally control without introducing extra delays"
+        (Section IV-B2).  The paper uses 500.
+    """
+
+    controller_id: ControllerId
+    site: NodeId
+    capacity: int
+
+    def __post_init__(self) -> None:
+        if self.capacity < 0:
+            raise ControlPlaneError(
+                f"controller {self.controller_id!r} capacity must be >= 0: "
+                f"{self.capacity!r}"
+            )
+
+
+class ControllerState:
+    """Mutable runtime state of a controller: load and liveness.
+
+    Load is counted in control-resource units (one unit per controlled
+    flow-at-switch).  ``available`` is the paper's ``A_j^rest``.
+    """
+
+    def __init__(self, controller: Controller, load: int = 0, failed: bool = False) -> None:
+        if load < 0:
+            raise ControlPlaneError(f"load must be >= 0: {load!r}")
+        if load > controller.capacity:
+            raise CapacityError(
+                f"initial load {load} exceeds capacity {controller.capacity} "
+                f"of controller {controller.controller_id!r}"
+            )
+        self._controller = controller
+        self._load = load
+        self._failed = failed
+
+    @property
+    def controller(self) -> Controller:
+        """The static controller description."""
+        return self._controller
+
+    @property
+    def controller_id(self) -> ControllerId:
+        """Shorthand for ``controller.controller_id``."""
+        return self._controller.controller_id
+
+    @property
+    def load(self) -> int:
+        """Currently consumed control resource."""
+        return self._load
+
+    @property
+    def available(self) -> int:
+        """Remaining control resource ``A_j^rest``; 0 when failed."""
+        if self._failed:
+            return 0
+        return self._controller.capacity - self._load
+
+    @property
+    def failed(self) -> bool:
+        """Whether the controller is down."""
+        return self._failed
+
+    def fail(self) -> None:
+        """Mark the controller as failed."""
+        self._failed = True
+
+    def recover(self) -> None:
+        """Bring the controller back online (load is preserved)."""
+        self._failed = False
+
+    def consume(self, units: int = 1) -> None:
+        """Allocate ``units`` of control resource.
+
+        Raises :class:`CapacityError` when the budget would be exceeded
+        and :class:`ControlPlaneError` when the controller is failed.
+        """
+        if units < 0:
+            raise ControlPlaneError(f"units must be >= 0: {units!r}")
+        if self._failed:
+            raise ControlPlaneError(
+                f"controller {self.controller_id!r} is failed; cannot consume"
+            )
+        if units > self.available:
+            raise CapacityError(
+                f"controller {self.controller_id!r} has {self.available} units "
+                f"available, requested {units}"
+            )
+        self._load += units
+
+    def release(self, units: int = 1) -> None:
+        """Return ``units`` of control resource."""
+        if units < 0:
+            raise ControlPlaneError(f"units must be >= 0: {units!r}")
+        if units > self._load:
+            raise ControlPlaneError(
+                f"cannot release {units} units; only {self._load} consumed"
+            )
+        self._load -= units
+
+    def __repr__(self) -> str:
+        status = "failed" if self._failed else "active"
+        return (
+            f"ControllerState(id={self.controller_id}, load={self._load}/"
+            f"{self._controller.capacity}, {status})"
+        )

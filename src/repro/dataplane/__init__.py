@@ -1,0 +1,15 @@
+"""Hybrid SDN/legacy data-plane simulator (Fig. 2 of the paper)."""
+
+from repro.dataplane.forwarding import NetworkDataPlane
+from repro.dataplane.packet import Packet
+from repro.dataplane.switch import SwitchDataPlane, SwitchMode
+from repro.dataplane.tables import FlowEntry, FlowTable
+
+__all__ = [
+    "Packet",
+    "FlowEntry",
+    "FlowTable",
+    "SwitchMode",
+    "SwitchDataPlane",
+    "NetworkDataPlane",
+]

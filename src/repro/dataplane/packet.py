@@ -1,0 +1,54 @@
+"""Packet model for the data-plane simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import DataPlaneError
+from repro.types import FlowId, NodeId
+
+__all__ = ["Packet"]
+
+
+@dataclass
+class Packet:
+    """A packet being forwarded through the network.
+
+    Attributes
+    ----------
+    src, dst:
+        Flow endpoints; the pair identifies the flow the packet belongs
+        to (matching the per-flow OpenFlow rules the recovery installs).
+    trace:
+        Switches visited so far, in order.  Populated by the forwarding
+        simulation.
+    """
+
+    src: NodeId
+    dst: NodeId
+    trace: list[NodeId] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise DataPlaneError(f"packet endpoints must differ: {self.src!r}")
+
+    @property
+    def flow_id(self) -> FlowId:
+        """The ``(src, dst)`` pair identifying the packet's flow."""
+        return (self.src, self.dst)
+
+    @property
+    def current(self) -> NodeId:
+        """Switch currently holding the packet (last trace entry)."""
+        if not self.trace:
+            raise DataPlaneError("packet has not entered the network yet")
+        return self.trace[-1]
+
+    @property
+    def delivered(self) -> bool:
+        """Whether the packet has reached its destination."""
+        return bool(self.trace) and self.trace[-1] == self.dst
+
+    def visit(self, node: NodeId) -> None:
+        """Record arrival at ``node``."""
+        self.trace.append(node)

@@ -1,0 +1,105 @@
+"""The per-switch packet pipeline — the three modes of Fig. 2.
+
+``SDN`` consults the flow table only; ``LEGACY`` the legacy routing table
+only; ``HYBRID`` tries the flow table first and falls through the
+table-miss entry to the legacy table — the configuration PM relies on.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.dataplane.packet import Packet
+from repro.dataplane.tables import FlowEntry, FlowTable
+from repro.exceptions import DataPlaneError, TableMissError
+from repro.routing.ospf import LegacyRoutingTable
+from repro.types import NodeId
+
+__all__ = ["SwitchMode", "SwitchDataPlane"]
+
+
+class SwitchMode(enum.Enum):
+    """Routing mode of a switch (Fig. 2)."""
+
+    SDN = "sdn"
+    LEGACY = "legacy"
+    HYBRID = "hybrid"
+
+
+class SwitchDataPlane:
+    """One switch's forwarding state and packet pipeline."""
+
+    def __init__(
+        self,
+        node: NodeId,
+        mode: SwitchMode,
+        legacy_table: LegacyRoutingTable | None = None,
+    ) -> None:
+        if mode in (SwitchMode.LEGACY, SwitchMode.HYBRID) and legacy_table is None:
+            raise DataPlaneError(
+                f"switch {node!r} in mode {mode.value} needs a legacy table"
+            )
+        if legacy_table is not None and legacy_table.switch != node:
+            raise DataPlaneError(
+                f"legacy table of switch {legacy_table.switch!r} given to {node!r}"
+            )
+        self._node = node
+        self._mode = mode
+        self._flow_table = FlowTable(node)
+        self._legacy_table = legacy_table
+
+    @property
+    def node(self) -> NodeId:
+        """This switch's node id."""
+        return self._node
+
+    @property
+    def mode(self) -> SwitchMode:
+        """Current routing mode."""
+        return self._mode
+
+    @property
+    def flow_table(self) -> FlowTable:
+        """The OpenFlow table."""
+        return self._flow_table
+
+    @property
+    def legacy_table(self) -> LegacyRoutingTable | None:
+        """The legacy (OSPF) routing table, if configured."""
+        return self._legacy_table
+
+    def set_mode(self, mode: SwitchMode) -> None:
+        """Reconfigure the routing mode (recovery reconfigures switches)."""
+        if mode in (SwitchMode.LEGACY, SwitchMode.HYBRID) and self._legacy_table is None:
+            raise DataPlaneError(
+                f"switch {self._node!r} has no legacy table for mode {mode.value}"
+            )
+        self._mode = mode
+
+    def install_flow(self, entry: FlowEntry) -> None:
+        """Install an OpenFlow entry (only meaningful in SDN/HYBRID mode)."""
+        self._flow_table.install(entry)
+
+    def next_hop(self, packet: Packet) -> NodeId:
+        """Run the packet through the pipeline and return the next hop.
+
+        Raises :class:`TableMissError` when no table produces a next hop.
+        """
+        if self._mode in (SwitchMode.SDN, SwitchMode.HYBRID):
+            entry = self._flow_table.lookup(packet.flow_id)
+            if entry is not None:
+                return entry.next_hop
+            if self._mode is SwitchMode.SDN:
+                raise TableMissError(
+                    f"switch {self._node!r} (SDN mode): no flow entry for "
+                    f"{packet.flow_id!r}"
+                )
+        # LEGACY mode, or HYBRID table-miss fall-through.
+        assert self._legacy_table is not None
+        return self._legacy_table.next_hop(packet.dst)
+
+    def __repr__(self) -> str:
+        return (
+            f"SwitchDataPlane(node={self._node}, mode={self._mode.value}, "
+            f"flow_entries={len(self._flow_table)})"
+        )

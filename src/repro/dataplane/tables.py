@@ -1,0 +1,90 @@
+"""Forwarding tables of the hybrid switch (Fig. 2 of the paper).
+
+A hybrid switch holds two tables:
+
+* a high-priority OpenFlow *flow table* matched per flow ``(src, dst)``;
+* a low-priority *legacy routing table* matched per destination (OSPF).
+
+The flow table carries an implicit lowest-priority table-miss entry that
+punts unmatched packets to the legacy table — exactly the configuration
+the paper describes for the Brocade MLX-8 PE hybrid mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import DataPlaneError
+from repro.routing.ospf import LegacyRoutingTable
+from repro.types import FlowId, NodeId
+
+__all__ = ["FlowEntry", "FlowTable", "LegacyRoutingTable"]
+
+DEFAULT_FLOW_PRIORITY = 10
+
+
+@dataclass(frozen=True, slots=True)
+class FlowEntry:
+    """An OpenFlow rule: exact match on the flow, forward to a next hop."""
+
+    flow_id: FlowId
+    next_hop: NodeId
+    priority: int = DEFAULT_FLOW_PRIORITY
+
+    def __post_init__(self) -> None:
+        if self.priority <= 0:
+            raise DataPlaneError(
+                f"flow entry priority must be positive (0 is the table-miss "
+                f"entry): {self.priority!r}"
+            )
+
+
+class FlowTable:
+    """Per-switch OpenFlow table with highest-priority-wins matching."""
+
+    def __init__(self, switch: NodeId) -> None:
+        self._switch = switch
+        self._entries: dict[FlowId, FlowEntry] = {}
+
+    @property
+    def switch(self) -> NodeId:
+        """The switch this table belongs to."""
+        return self._switch
+
+    def install(self, entry: FlowEntry) -> None:
+        """Install (or replace, if higher priority) a flow entry.
+
+        Replacing with a lower-priority entry for the same flow raises —
+        a real switch would keep both and match the higher one, which for
+        exact-match rules is equivalent to rejecting the downgrade.
+        """
+        existing = self._entries.get(entry.flow_id)
+        if existing is not None and existing.priority > entry.priority:
+            raise DataPlaneError(
+                f"switch {self._switch!r} already has a higher-priority entry "
+                f"for flow {entry.flow_id!r}"
+            )
+        self._entries[entry.flow_id] = entry
+
+    def remove(self, flow_id: FlowId) -> None:
+        """Remove the entry for ``flow_id`` (missing entry is an error)."""
+        try:
+            del self._entries[flow_id]
+        except KeyError:
+            raise DataPlaneError(
+                f"switch {self._switch!r} has no entry for flow {flow_id!r}"
+            ) from None
+
+    def lookup(self, flow_id: FlowId) -> FlowEntry | None:
+        """Match a packet's flow; ``None`` means table miss."""
+        return self._entries.get(flow_id)
+
+    def entries(self) -> tuple[FlowEntry, ...]:
+        """All installed entries, sorted by flow id."""
+        return tuple(self._entries[k] for k in sorted(self._entries))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"FlowTable(switch={self._switch}, entries={len(self)})"

@@ -1,0 +1,96 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by this library derive from :class:`ReproError`, so a
+caller can catch everything produced by the package with one handler while
+still distinguishing finer-grained failure modes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "TopologyError",
+    "ParseError",
+    "FlowError",
+    "RoutingError",
+    "DataPlaneError",
+    "TableMissError",
+    "ForwardingLoopError",
+    "ControlPlaneError",
+    "CapacityError",
+    "ScenarioError",
+    "ModelError",
+    "SolverError",
+    "InfeasibleError",
+    "UnboundedError",
+    "SolverTimeoutError",
+    "SolutionError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the repro library."""
+
+
+class TopologyError(ReproError):
+    """A topology is malformed or an operation on it is invalid."""
+
+
+class ParseError(TopologyError):
+    """A topology file (e.g. Topology Zoo GML) could not be parsed."""
+
+
+class FlowError(ReproError):
+    """A flow definition is invalid (unknown endpoints, empty path, ...)."""
+
+
+class RoutingError(ReproError):
+    """A routing computation failed (no path, bad strategy, ...)."""
+
+
+class DataPlaneError(ReproError):
+    """Base class for data-plane simulation errors."""
+
+
+class TableMissError(DataPlaneError):
+    """A packet matched no entry in any table of a switch pipeline."""
+
+
+class ForwardingLoopError(DataPlaneError):
+    """A packet revisited a switch during forwarding simulation."""
+
+
+class ControlPlaneError(ReproError):
+    """Base class for control-plane errors."""
+
+
+class CapacityError(ControlPlaneError):
+    """A controller's control-resource budget would be exceeded."""
+
+
+class ScenarioError(ControlPlaneError):
+    """A failure scenario is invalid (unknown controller, none active, ...)."""
+
+
+class ModelError(ReproError):
+    """An optimization model is malformed."""
+
+
+class SolverError(ReproError):
+    """Base class for optimization solver failures."""
+
+
+class InfeasibleError(SolverError):
+    """The optimization problem has no feasible solution."""
+
+
+class UnboundedError(SolverError):
+    """The optimization problem is unbounded."""
+
+
+class SolverTimeoutError(SolverError):
+    """The solver hit its time limit before proving optimality."""
+
+
+class SolutionError(ReproError):
+    """A recovery solution violates the FMSSM constraints."""

@@ -1,0 +1,84 @@
+"""Run recovery algorithms over failure scenarios and collect metrics."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.baselines import get_algorithm
+from repro.control.failures import FailureScenario, enumerate_failure_scenarios
+from repro.experiments.scenarios import ExperimentContext
+from repro.fmssm.evaluation import RecoveryEvaluation, evaluate_solution
+from repro.fmssm.optimal import solve_optimal
+from repro.fmssm.solution import RecoverySolution
+
+__all__ = ["ScenarioResult", "run_scenario", "run_failure_sweep", "PAPER_ALGORITHMS"]
+
+#: The four algorithms the paper compares (Section VI-B).
+PAPER_ALGORITHMS: tuple[str, ...] = ("optimal", "retroflow", "pg", "pm")
+
+
+@dataclass
+class ScenarioResult:
+    """Evaluations of every algorithm on one failure scenario."""
+
+    scenario: FailureScenario
+    evaluations: dict[str, RecoveryEvaluation] = field(default_factory=dict)
+    solutions: dict[str, RecoverySolution] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        """The scenario's canonical name, e.g. ``"(13, 20)"``."""
+        return self.scenario.name
+
+    def relative_total_programmability(self, reference: str = "retroflow") -> dict[str, float]:
+        """Each algorithm's total programmability relative to ``reference``.
+
+        This is the normalization of Figs. 4(b), 5(b) and 6(b).  A zero
+        reference yields ``inf`` for non-zero algorithms.
+        """
+        base = self.evaluations[reference].total_programmability
+        out = {}
+        for name, evaluation in self.evaluations.items():
+            if base > 0:
+                out[name] = evaluation.total_programmability / base
+            else:
+                out[name] = float("inf") if evaluation.total_programmability else 1.0
+        return out
+
+
+def run_scenario(
+    context: ExperimentContext,
+    scenario: FailureScenario,
+    algorithms: Sequence[str] = PAPER_ALGORITHMS,
+    optimal_time_limit_s: float = 300.0,
+) -> ScenarioResult:
+    """Run ``algorithms`` on one failure scenario.
+
+    The ``"optimal"`` entry is routed through :func:`solve_optimal` with
+    the time limit; an infeasible/timeout outcome is kept as an
+    infeasible evaluation, mirroring the paper's missing Optimal bars.
+    """
+    instance = context.instance(scenario)
+    result = ScenarioResult(scenario=scenario)
+    for name in algorithms:
+        if name == "optimal":
+            solution = solve_optimal(instance, time_limit_s=optimal_time_limit_s)
+        else:
+            solution = get_algorithm(name)(instance)
+        result.solutions[name] = solution
+        result.evaluations[name] = evaluate_solution(instance, solution)
+    return result
+
+
+def run_failure_sweep(
+    context: ExperimentContext,
+    n_failures: int,
+    algorithms: Sequence[str] = PAPER_ALGORITHMS,
+    optimal_time_limit_s: float = 300.0,
+) -> list[ScenarioResult]:
+    """Run all C(M, n_failures) failure combinations (Figs. 4-6)."""
+    return [
+        run_scenario(context, scenario, algorithms, optimal_time_limit_s)
+        for scenario in enumerate_failure_scenarios(context.plane, n_failures)
+    ]

@@ -1,0 +1,119 @@
+"""The default evaluation setup (Section VI-A) and custom setups.
+
+An :class:`ExperimentContext` bundles everything the runner needs:
+topology, flow workload, control plane, programmability model and delay
+model.  :func:`default_att_context` reproduces the paper's configuration:
+the ATT backbone, one flow per ordered node pair on hop-count shortest
+paths, six controllers at nodes {2, 5, 6, 13, 20, 22} with processing
+ability 500 each, Table III's domain partition, and geodesic
+switch-controller delays.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.control.delay import DelayModel
+from repro.control.failures import FailureScenario
+from repro.control.plane import ControlPlane
+from repro.flows.demands import all_pairs_flows
+from repro.flows.flow import Flow
+from repro.fmssm.build import build_instance
+from repro.fmssm.instance import FMSSMInstance
+from repro.routing.path_count import make_counter
+from repro.routing.programmability import ProgrammabilityModel
+from repro.topology.att import ATT_DEFAULT_CAPACITY, ATT_DOMAINS, att_topology
+from repro.topology.graph import Topology
+from repro.topology.partition import nearest_site_partition
+from repro.types import ControllerId, NodeId
+
+__all__ = ["ExperimentContext", "default_att_context", "custom_context"]
+
+
+@dataclass
+class ExperimentContext:
+    """Everything needed to ground FMSSM instances for one network."""
+
+    topology: Topology
+    flows: list[Flow]
+    plane: ControlPlane
+    programmability: ProgrammabilityModel
+    delay_model: DelayModel
+    #: Per-instance cache keyed by failed-controller set.
+    _instances: dict[frozenset[ControllerId], FMSSMInstance] = field(
+        default_factory=dict, repr=False
+    )
+
+    def instance(self, scenario: FailureScenario) -> FMSSMInstance:
+        """Build (and cache) the FMSSM instance for a failure scenario."""
+        key = scenario.failed
+        if key not in self._instances:
+            self._instances[key] = build_instance(
+                self.plane,
+                self.flows,
+                self.programmability,
+                scenario,
+                delay_model=self.delay_model,
+            )
+        return self._instances[key]
+
+
+def default_att_context(
+    capacity: int = ATT_DEFAULT_CAPACITY,
+    counter_strategy: str = "lfa",
+    flow_weight: str = "hops",
+    delay_mode: str = "geodesic",
+    **counter_kwargs: object,
+) -> ExperimentContext:
+    """The paper's evaluation setup on the embedded ATT backbone.
+
+    Parameters expose the knobs the ablation benchmarks sweep: controller
+    ``capacity`` (paper: 500), the path-programmability
+    ``counter_strategy`` (``"lfa"``/``"bounded"``/``"dag"``), the routing
+    metric for flow paths, and the delay interpretation.
+    """
+    topology = att_topology()
+    flows = all_pairs_flows(topology, weight=flow_weight)
+    plane = ControlPlane(topology, ATT_DOMAINS, capacity)
+    counter = make_counter(topology, strategy=counter_strategy, **counter_kwargs)
+    programmability = ProgrammabilityModel(counter, flows)
+    delay_model = DelayModel(topology, mode=delay_mode)
+    return ExperimentContext(
+        topology=topology,
+        flows=flows,
+        plane=plane,
+        programmability=programmability,
+        delay_model=delay_model,
+    )
+
+
+def custom_context(
+    topology: Topology,
+    controller_sites: Sequence[NodeId],
+    capacity: int | Mapping[ControllerId, int],
+    domains: Mapping[ControllerId, Sequence[NodeId]] | None = None,
+    counter_strategy: str = "lfa",
+    flow_weight: str = "hops",
+    delay_mode: str = "geodesic",
+    **counter_kwargs: object,
+) -> ExperimentContext:
+    """Build a context for an arbitrary topology.
+
+    When ``domains`` is omitted, switches join their geographically
+    nearest controller site (:func:`nearest_site_partition`).
+    """
+    if domains is None:
+        domains = nearest_site_partition(topology, controller_sites)
+    flows = all_pairs_flows(topology, weight=flow_weight)
+    plane = ControlPlane(topology, domains, capacity)
+    counter = make_counter(topology, strategy=counter_strategy, **counter_kwargs)
+    programmability = ProgrammabilityModel(counter, flows)
+    delay_model = DelayModel(topology, mode=delay_mode)
+    return ExperimentContext(
+        topology=topology,
+        flows=flows,
+        plane=plane,
+        programmability=programmability,
+        delay_model=delay_model,
+    )

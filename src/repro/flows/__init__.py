@@ -1,0 +1,31 @@
+"""Flow model and workload generation."""
+
+from repro.flows.demands import (
+    all_pairs_flows,
+    flows_from_pairs,
+    gravity_demands,
+    random_pairs_flows,
+    shortest_path,
+)
+from repro.flows.flow import Flow
+from repro.flows.paths import (
+    flows_by_id,
+    flows_through,
+    path_delay_ms,
+    switch_flow_counts,
+    validate_path,
+)
+
+__all__ = [
+    "Flow",
+    "shortest_path",
+    "all_pairs_flows",
+    "random_pairs_flows",
+    "gravity_demands",
+    "flows_from_pairs",
+    "validate_path",
+    "path_delay_ms",
+    "flows_by_id",
+    "flows_through",
+    "switch_flow_counts",
+]

@@ -1,0 +1,97 @@
+"""The :class:`Flow` value object.
+
+A flow is an origin-destination pair with a concrete forwarding path.  The
+paper's workload generates "a traffic flow [for] any two nodes ... forwarded
+on the shortest path" (Section VI-A); a flow is identified by its ordered
+``(src, dst)`` pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import FlowError
+from repro.types import FlowId, NodeId, Path
+
+__all__ = ["Flow"]
+
+
+@dataclass(frozen=True)
+class Flow:
+    """A unidirectional traffic flow with its forwarding path.
+
+    Attributes
+    ----------
+    src, dst:
+        Endpoint node ids; must differ.
+    path:
+        The forwarding path as a node tuple starting at ``src`` and ending
+        at ``dst`` with no repeated node.
+    demand:
+        Traffic volume (arbitrary units); the recovery problem does not
+        consume it, but workload models and ablations do.
+    """
+
+    src: NodeId
+    dst: NodeId
+    path: Path
+    demand: float = field(default=1.0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise FlowError(f"flow endpoints must differ: {self.src!r}")
+        path = tuple(self.path)
+        object.__setattr__(self, "path", path)
+        if len(path) < 2:
+            raise FlowError(f"flow path must have at least 2 nodes: {path!r}")
+        if path[0] != self.src or path[-1] != self.dst:
+            raise FlowError(
+                f"path {path!r} does not run from {self.src!r} to {self.dst!r}"
+            )
+        if len(set(path)) != len(path):
+            raise FlowError(f"flow path revisits a node: {path!r}")
+        if self.demand < 0:
+            raise FlowError(f"flow demand must be non-negative: {self.demand!r}")
+
+    @property
+    def flow_id(self) -> FlowId:
+        """The ``(src, dst)`` pair identifying this flow."""
+        return (self.src, self.dst)
+
+    @property
+    def hop_count(self) -> int:
+        """Number of links on the path."""
+        return len(self.path) - 1
+
+    @property
+    def transit_switches(self) -> Path:
+        """Switches the flow traverses where rerouting decisions happen.
+
+        Every switch on the path except the destination: the source and
+        intermediate switches each forward the flow to a next hop, while
+        the destination only terminates it.
+        """
+        return self.path[:-1]
+
+    def traverses(self, node: NodeId) -> bool:
+        """Whether the flow's path visits ``node``."""
+        return node in self.path
+
+    def next_hop(self, node: NodeId) -> NodeId:
+        """Successor of ``node`` on the path.
+
+        Raises :class:`FlowError` when ``node`` is not a transit switch.
+        """
+        try:
+            idx = self.path.index(node)
+        except ValueError:
+            raise FlowError(f"flow {self.flow_id} does not traverse {node!r}") from None
+        if idx == len(self.path) - 1:
+            raise FlowError(
+                f"node {node!r} is the destination of flow {self.flow_id}; no next hop"
+            )
+        return self.path[idx + 1]
+
+    def __str__(self) -> str:
+        arrow = "->".join(str(n) for n in self.path)
+        return f"Flow({self.src}->{self.dst}: {arrow})"

@@ -1,0 +1,120 @@
+"""Assemble an :class:`~repro.fmssm.instance.FMSSMInstance` from a network.
+
+This is the glue between the substrates (topology, flows, programmability
+model, control plane, failure scenario) and the optimization/heuristic
+layer.  Every recovery algorithm consumes the instance built here, so all
+algorithms are compared on identical ground data.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.control.delay import DelayModel, ideal_recovery_delay
+from repro.control.failures import FailureScenario
+from repro.control.plane import ControlPlane
+from repro.flows.flow import Flow
+from repro.flows.paths import switch_flow_counts
+from repro.fmssm.instance import FMSSMInstance
+from repro.routing.programmability import ProgrammabilityModel
+from repro.types import ControllerId, FlowId, NodeId
+
+__all__ = ["build_instance", "default_lambda"]
+
+
+def default_lambda(total_max_programmability: int) -> float:
+    """A weight that keeps obj1 strictly prioritized over obj2.
+
+    The paper combines ``obj = r + lambda * sum(pro)`` and picks the
+    weight "following [17]" so the combined optimum matches the two-stage
+    optimum.  Any ``lambda < 1 / max(obj2)`` works: raising ``r`` by one
+    unit (its smallest step, since programmabilities are integers) then
+    always beats any achievable obj2 gain.  We use half that bound.
+    """
+    return 0.5 / max(1, total_max_programmability)
+
+
+def build_instance(
+    plane: ControlPlane,
+    flows: Iterable[Flow],
+    programmability: ProgrammabilityModel,
+    scenario: FailureScenario,
+    delay_model: DelayModel | None = None,
+    lam: float | None = None,
+) -> FMSSMInstance:
+    """Ground the FMSSM problem for one failure scenario.
+
+    Parameters
+    ----------
+    plane:
+        Control plane (topology, domains, capacities).
+    flows:
+        The full flow population; offline flows are selected here.
+    programmability:
+        Source of ``beta`` / ``p̄`` coefficients.
+    scenario:
+        Which controllers failed.
+    delay_model:
+        Switch-controller delay interpretation; defaults to the paper's
+        geodesic model.
+    lam:
+        Objective weight; defaults to :func:`default_lambda` of the
+        instance's obj2 upper bound.
+    """
+    scenario.validate(plane)
+    topology = plane.topology
+    delay_model = delay_model or DelayModel(topology, mode="geodesic")
+
+    offline_switches = scenario.offline_switches(plane)
+    offline_set = set(offline_switches)
+    active = scenario.active_controllers(plane)
+    sites = {c: plane.controller(c).site for c in active}
+
+    all_flows = list(flows)
+    offline_flows: dict[FlowId, Flow] = {}
+    for flow in all_flows:
+        if any(node in offline_set for node in flow.path):
+            offline_flows[flow.flow_id] = flow
+
+    # Spare capacity of active controllers given the *full* workload —
+    # active controllers keep serving their own domains (the paper's
+    # "without interrupting their normal operations").
+    spare_all = plane.spare_capacity(all_flows)
+    spare = {c: spare_all[c] for c in active}
+
+    # gamma over offline switches, counting every flow in the switch
+    # (Table III convention: destination included).
+    gamma_all = switch_flow_counts(all_flows)
+    gamma = {s: int(gamma_all.get(s, 0)) for s in offline_switches}
+
+    # beta / p̄ for offline (switch, flow) pairs.
+    pbar: dict[tuple[NodeId, FlowId], int] = {}
+    for flow in offline_flows.values():
+        for switch in flow.transit_switches:
+            if switch not in offline_set:
+                continue
+            value = programmability.pbar(flow, switch)
+            if value:
+                pbar[(switch, flow.flow_id)] = value
+
+    delay = delay_model.matrix(offline_switches, sites)
+    nearest: dict[NodeId, ControllerId] = {
+        s: delay_model.nearest_controller(s, sites) for s in offline_switches
+    }
+    ideal = ideal_recovery_delay(delay_model, offline_switches, sites, gamma)
+
+    if lam is None:
+        lam = default_lambda(sum(pbar.values()))
+
+    return FMSSMInstance(
+        switches=tuple(offline_switches),
+        controllers=tuple(active),
+        spare=spare,
+        delay=delay,
+        flows=offline_flows,
+        pbar=pbar,
+        gamma=gamma,
+        ideal_delay_ms=ideal,
+        lam=lam,
+        nearest=nearest,
+    )

@@ -1,0 +1,203 @@
+"""Feasibility verification and metric evaluation of recovery solutions.
+
+Every algorithm's output is pushed through the same evaluator so the
+reported metrics (least/total programmability, recovery percentages,
+per-flow communication overhead) are computed identically — exactly the
+quantities plotted in Figs. 4–6 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import SolutionError
+from repro.fmssm.instance import FMSSMInstance
+from repro.fmssm.solution import RecoverySolution
+from repro.types import ControllerId, FlowId, Milliseconds, NodeId
+
+__all__ = ["RecoveryEvaluation", "evaluate_solution", "verify_solution"]
+
+_DELAY_TOL = 1e-6
+
+
+@dataclass
+class RecoveryEvaluation:
+    """All metrics of one solution on one instance.
+
+    ``per_flow_overhead_ms`` is the paper's Fig. 4(d)/5(f)/6(f) metric:
+    total switch-controller propagation delay of served SDN pairs divided
+    by the number of recovered flows, plus any per-request middle-layer
+    processing charge (PG's FlowVisor).
+    """
+
+    algorithm: str
+    feasible: bool
+    #: pro^l per offline flow (0 for unrecovered flows).
+    programmability: dict[FlowId, int] = field(default_factory=dict)
+    #: r — least programmability over *recoverable* offline flows.
+    least_programmability: int = 0
+    #: obj2 — total programmability over all offline flows.
+    total_programmability: int = 0
+    #: Flows with pro > 0.
+    recovered_flows: int = 0
+    #: Offline flows that some algorithm could recover.
+    recoverable_flows: int = 0
+    #: All offline flows.
+    offline_flows: int = 0
+    #: Switches hosting at least one served SDN pair.
+    recovered_switches: int = 0
+    offline_switches: int = 0
+    #: Control resource consumed per controller.
+    controller_load: dict[ControllerId, int] = field(default_factory=dict)
+    #: Total propagation delay of served SDN pairs (ms).
+    total_delay_ms: Milliseconds = 0.0
+    #: Ideal recovery delay G of the instance (ms).
+    ideal_delay_ms: Milliseconds = 0.0
+    #: Mean communication overhead per recovered flow (ms).
+    per_flow_overhead_ms: Milliseconds = 0.0
+    #: Combined objective r + lambda * obj2.
+    objective: float = 0.0
+    solve_time_s: float = 0.0
+
+    @property
+    def recovery_fraction(self) -> float:
+        """Recovered / recoverable flows (the paper's Fig. 5(c), 6(c))."""
+        if self.recoverable_flows == 0:
+            return 1.0
+        return self.recovered_flows / self.recoverable_flows
+
+    @property
+    def switch_recovery_fraction(self) -> float:
+        """Recovered / offline switches (the paper's Fig. 5(d), 6(d))."""
+        if self.offline_switches == 0:
+            return 1.0
+        return self.recovered_switches / self.offline_switches
+
+    def programmability_values(self) -> list[int]:
+        """pro^l of every *recoverable* offline flow (for distributions).
+
+        Unrecoverable flows are excluded — no algorithm can lift them off
+        zero, so including them would flatten every distribution equally.
+        """
+        return [
+            self.programmability[f]
+            for f in sorted(self.programmability)
+            if f in self._recoverable_set
+        ]
+
+    _recoverable_set: frozenset[FlowId] = frozenset()
+
+
+def verify_solution(
+    instance: FMSSMInstance,
+    solution: RecoverySolution,
+    enforce_delay: bool = True,
+) -> None:
+    """Raise :class:`SolutionError` if ``solution`` violates P′ constraints.
+
+    Checks: mapping targets are active controllers (Eq. 2 is structural —
+    the dict maps each switch at most once); SDN pairs are programmable
+    pairs of the instance (Eq. 1); per-controller load within spare
+    capacity (Eq. 12); total delay within G (Eq. 14, optional since
+    flow-level baselines are allowed to trade it off).
+    """
+    if not solution.feasible:
+        if solution.mapping or solution.sdn_pairs:
+            raise SolutionError("infeasible solutions must be empty")
+        return
+    controller_set = set(instance.controllers)
+    switch_set = set(instance.switches)
+    for switch, controller in solution.mapping.items():
+        if switch not in switch_set:
+            raise SolutionError(f"mapped switch {switch!r} is not offline")
+        if controller not in controller_set:
+            raise SolutionError(
+                f"switch {switch!r} mapped to non-active controller {controller!r}"
+            )
+    for pair in solution.sdn_pairs:
+        if pair not in instance.pbar:
+            raise SolutionError(f"SDN pair {pair!r} is not a programmable pair")
+    for pair, controller in solution.pair_controller.items():
+        if controller not in controller_set:
+            raise SolutionError(
+                f"pair {pair!r} served by non-active controller {controller!r}"
+            )
+
+    if solution.load_override is not None:
+        load = {c: solution.load_override.get(c, 0) for c in instance.controllers}
+    else:
+        load = {c: 0 for c in instance.controllers}
+        for switch, flow_id in solution.active_pairs():
+            load[solution.controller_for_pair(switch, flow_id)] += 1
+    for controller, used in load.items():
+        if used > instance.spare[controller]:
+            raise SolutionError(
+                f"controller {controller!r} load {used} exceeds spare "
+                f"{instance.spare[controller]}"
+            )
+
+    if enforce_delay:
+        total = sum(
+            instance.delay[(switch, solution.controller_for_pair(switch, flow_id))]
+            for switch, flow_id in solution.active_pairs()
+        )
+        if total > instance.ideal_delay_ms * (1 + _DELAY_TOL) + _DELAY_TOL:
+            raise SolutionError(
+                f"total delay {total:.3f}ms exceeds G={instance.ideal_delay_ms:.3f}ms"
+            )
+
+
+def evaluate_solution(
+    instance: FMSSMInstance,
+    solution: RecoverySolution,
+    verify: bool = True,
+    enforce_delay: bool = False,
+) -> RecoveryEvaluation:
+    """Compute all paper metrics for ``solution`` on ``instance``."""
+    if verify:
+        verify_solution(instance, solution, enforce_delay=enforce_delay)
+
+    recoverable = frozenset(instance.recoverable_flows)
+    programmability: dict[FlowId, int] = {f: 0 for f in instance.flows}
+    load: dict[ControllerId, int] = {c: 0 for c in instance.controllers}
+    total_delay = 0.0
+    active_pairs = solution.active_pairs() if solution.feasible else ()
+    for switch, flow_id in active_pairs:
+        controller = solution.controller_for_pair(switch, flow_id)
+        programmability[flow_id] += instance.pbar[(switch, flow_id)]
+        load[controller] += 1
+        total_delay += instance.delay[(switch, controller)]
+    if solution.load_override is not None:
+        load = {c: solution.load_override.get(c, 0) for c in instance.controllers}
+
+    recovered = [f for f, pro in programmability.items() if pro > 0]
+    least = (
+        min(programmability[f] for f in recoverable) if recoverable and solution.feasible else 0
+    )
+    if not solution.feasible:
+        least = 0
+    total_pro = sum(programmability.values())
+    per_flow = 0.0
+    if recovered:
+        per_flow = total_delay / len(recovered) + solution.extra_overhead_ms
+
+    evaluation = RecoveryEvaluation(
+        algorithm=solution.algorithm,
+        feasible=solution.feasible,
+        programmability=programmability,
+        least_programmability=least,
+        total_programmability=total_pro,
+        recovered_flows=len(recovered),
+        recoverable_flows=len(recoverable),
+        offline_flows=instance.n_flows,
+        recovered_switches=len(solution.recovered_switches()) if solution.feasible else 0,
+        offline_switches=instance.n_switches,
+        controller_load=load,
+        total_delay_ms=total_delay,
+        ideal_delay_ms=instance.ideal_delay_ms,
+        per_flow_overhead_ms=per_flow,
+        objective=least + instance.lam * total_pro if solution.feasible else 0.0,
+        solve_time_s=solution.solve_time_s,
+    )
+    evaluation._recoverable_set = recoverable
+    return evaluation

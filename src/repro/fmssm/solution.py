@@ -1,0 +1,111 @@
+"""Recovery solution representation.
+
+A :class:`RecoverySolution` is what every algorithm (PM, Optimal,
+RetroFlow, PG, naive) returns: the switch→controller mapping X, the set
+of SDN-mode (switch, flow) pairs Y, and bookkeeping about how it was
+produced.  For flow-level algorithms (PG) the per-pair controller can
+differ from the switch mapping, so an optional per-pair assignment is
+carried as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import SolutionError
+from repro.types import ControllerId, FlowId, Milliseconds, NodeId
+
+__all__ = ["RecoverySolution"]
+
+
+@dataclass
+class RecoverySolution:
+    """Output of a recovery algorithm.
+
+    Attributes
+    ----------
+    algorithm:
+        Name of the producing algorithm (e.g. ``"pm"``, ``"optimal"``).
+    mapping:
+        X — offline switch → active controller, for mapped switches only.
+    sdn_pairs:
+        Y — (switch, flow id) pairs configured in SDN mode.  Pairs not in
+        Y run in legacy mode on the hybrid pipeline.
+    pair_controller:
+        Controller actually serving each SDN pair.  For switch-level
+        algorithms this is implied by ``mapping`` and may be left empty;
+        for flow-level algorithms (PG) each pair may use a different
+        controller than the switch's.
+    extra_overhead_ms:
+        Additional per-request processing charged on top of propagation
+        delay (PG's FlowVisor middle layer).
+    load_override:
+        Per-controller control-resource consumption when it differs from
+        the number of served SDN pairs.  Switch-level algorithms
+        (RetroFlow, naive remapping) pay the *whole-switch* cost
+        ``gamma_i`` per recovered switch — the coarse granularity the
+        paper criticizes — so they record it here; the evaluator then
+        verifies capacity and reports loads against this accounting.
+    solve_time_s:
+        Wall-clock seconds the algorithm took.
+    feasible:
+        False when the algorithm could not produce a solution (the paper's
+        Optimal lacks results in some three-failure cases); the mapping
+        and pairs are then empty.
+    meta:
+        Free-form diagnostics (solver status, gap, iterations...).
+    """
+
+    algorithm: str
+    mapping: dict[NodeId, ControllerId] = field(default_factory=dict)
+    sdn_pairs: set[tuple[NodeId, FlowId]] = field(default_factory=set)
+    pair_controller: dict[tuple[NodeId, FlowId], ControllerId] = field(default_factory=dict)
+    extra_overhead_ms: Milliseconds = 0.0
+    load_override: dict[ControllerId, int] | None = None
+    solve_time_s: float = 0.0
+    feasible: bool = True
+    meta: dict[str, object] = field(default_factory=dict)
+
+    def controller_for_pair(self, switch: NodeId, flow_id: FlowId) -> ControllerId:
+        """Controller serving an SDN pair.
+
+        Falls back to the switch's mapping when no per-pair assignment is
+        recorded.  Raises :class:`SolutionError` if neither exists.
+        """
+        pair = (switch, flow_id)
+        if pair in self.pair_controller:
+            return self.pair_controller[pair]
+        if switch in self.mapping:
+            return self.mapping[switch]
+        raise SolutionError(
+            f"pair {pair!r} is in SDN mode but no controller serves it"
+        )
+
+    def active_pairs(self) -> tuple[tuple[NodeId, FlowId], ...]:
+        """SDN pairs actually served by a controller, sorted.
+
+        A pair in Y whose switch is unmapped (and with no per-pair
+        controller) contributes nothing — the flow entry exists but no
+        controller programs it; such pairs are excluded here.
+        """
+        active = []
+        for pair in self.sdn_pairs:
+            if pair in self.pair_controller or pair[0] in self.mapping:
+                active.append(pair)
+        return tuple(sorted(active))
+
+    @property
+    def n_mapped_switches(self) -> int:
+        """Number of offline switches mapped to a controller."""
+        return len(self.mapping)
+
+    def recovered_switches(self) -> tuple[NodeId, ...]:
+        """Switches hosting at least one served SDN pair, sorted."""
+        return tuple(sorted({switch for switch, _ in self.active_pairs()}))
+
+    def __repr__(self) -> str:
+        return (
+            f"RecoverySolution(algorithm={self.algorithm!r}, "
+            f"mapped={len(self.mapping)}, sdn_pairs={len(self.sdn_pairs)}, "
+            f"feasible={self.feasible})"
+        )

@@ -1,0 +1,22 @@
+"""Geographic primitives: coordinates, great-circle distance, delays.
+
+The paper computes controller-switch propagation delays from node
+latitude/longitude using the Haversine formula and a propagation speed of
+``2e8 m/s`` (Section VI-A).  This package provides those primitives.
+"""
+
+from repro.geo.coordinates import GeoPoint
+from repro.geo.haversine import (
+    EARTH_RADIUS_M,
+    haversine_m,
+    pairwise_distance_matrix,
+    propagation_delay_ms,
+)
+
+__all__ = [
+    "GeoPoint",
+    "EARTH_RADIUS_M",
+    "haversine_m",
+    "pairwise_distance_matrix",
+    "propagation_delay_ms",
+]

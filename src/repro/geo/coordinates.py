@@ -1,0 +1,46 @@
+"""Latitude/longitude value object with validation."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["GeoPoint"]
+
+
+@dataclass(frozen=True, slots=True)
+class GeoPoint:
+    """A point on the Earth's surface.
+
+    Attributes
+    ----------
+    latitude:
+        Degrees north of the equator, in ``[-90, 90]``.
+    longitude:
+        Degrees east of the prime meridian, in ``[-180, 180]``.
+    """
+
+    latitude: float
+    longitude: float
+
+    def __post_init__(self) -> None:
+        if not (-90.0 <= self.latitude <= 90.0):
+            raise ValueError(f"latitude out of range [-90, 90]: {self.latitude!r}")
+        if not (-180.0 <= self.longitude <= 180.0):
+            raise ValueError(f"longitude out of range [-180, 180]: {self.longitude!r}")
+        if math.isnan(self.latitude) or math.isnan(self.longitude):
+            raise ValueError("coordinates must not be NaN")
+
+    @property
+    def latitude_rad(self) -> float:
+        """Latitude in radians."""
+        return math.radians(self.latitude)
+
+    @property
+    def longitude_rad(self) -> float:
+        """Longitude in radians."""
+        return math.radians(self.longitude)
+
+    def as_tuple(self) -> tuple[float, float]:
+        """Return ``(latitude, longitude)`` in degrees."""
+        return (self.latitude, self.longitude)

@@ -1,0 +1,11 @@
+"""Result serialization (JSON / CSV) for external plotting."""
+
+from repro.io.serialize import (
+    dumps_json,
+    figure_to_csv,
+    to_jsonable,
+    write_csv,
+    write_json,
+)
+
+__all__ = ["to_jsonable", "dumps_json", "figure_to_csv", "write_json", "write_csv"]

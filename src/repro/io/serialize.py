@@ -1,0 +1,90 @@
+"""Serialization of experiment results to JSON and CSV.
+
+Figure data (from :mod:`repro.experiments.figures`) is nested dicts plus
+:class:`~repro.metrics.summary.FiveNumberSummary` objects; this module
+flattens them into JSON-safe structures and per-case CSV rows so the
+regenerated figures can be plotted with any external tool.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import io
+import json
+import math
+from typing import Any
+
+from repro.exceptions import ReproError
+
+__all__ = ["to_jsonable", "dumps_json", "figure_to_csv", "write_json", "write_csv"]
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert experiment structures to JSON-safe values.
+
+    Dataclasses become dicts, tuples become lists, non-finite floats
+    become ``None`` (JSON has no ``inf``/``nan``), and dict keys are
+    stringified.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return to_jsonable(dataclasses.asdict(value))
+    if isinstance(value, dict):
+        return {str(key): to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [to_jsonable(item) for item in value]
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    raise ReproError(f"cannot serialize {type(value).__name__}: {value!r}")
+
+
+def dumps_json(value: Any, indent: int = 2) -> str:
+    """Serialize to a JSON string."""
+    return json.dumps(to_jsonable(value), indent=indent, sort_keys=True)
+
+
+def write_json(path: str, value: Any) -> None:
+    """Write ``value`` to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps_json(value))
+        handle.write("\n")
+
+
+_CSV_FIELDS = (
+    "fairness",
+    "least_programmability",
+    "total_programmability",
+    "total_vs_retroflow",
+    "recovered_flows_pct",
+    "recovered_switches",
+    "offline_switches",
+    "resource_used",
+    "per_flow_overhead_ms",
+    "solve_time_s",
+    "feasible",
+)
+
+
+def figure_to_csv(figure_data: dict[str, Any]) -> str:
+    """Flatten a Fig. 4/5/6 dataset into CSV: one row per (case, algorithm)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(("n_failures", "case", "algorithm", *_CSV_FIELDS))
+    for case in figure_data["cases"]:
+        for algorithm, record in case["algorithms"].items():
+            row: list[Any] = [figure_data["n_failures"], case["case"], algorithm]
+            for fieldname in _CSV_FIELDS:
+                value = record.get(fieldname)
+                if isinstance(value, float) and not math.isfinite(value):
+                    value = ""
+                row.append(value)
+            writer.writerow(row)
+    return buffer.getvalue()
+
+
+def write_csv(path: str, figure_data: dict[str, Any]) -> None:
+    """Write a figure dataset to ``path`` as CSV."""
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        handle.write(figure_to_csv(figure_data))

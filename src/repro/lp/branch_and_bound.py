@@ -1,0 +1,182 @@
+"""A pure-Python branch-and-bound MILP solver.
+
+This is the library-owned fallback to HiGHS: LP relaxations are solved
+with :func:`scipy.optimize.linprog` and integrality is enforced by
+branching on the most fractional variable.  Best-bound node selection
+keeps the tree small; a time limit turns the best incumbent into a
+``FEASIBLE`` result.
+
+It is deliberately simple — correct and tested rather than fast — and is
+used in the test suite to cross-validate the HiGHS results on small
+FMSSM instances.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import time
+from dataclasses import dataclass, field
+from itertools import count
+
+import numpy as np
+from scipy import optimize
+
+from repro.lp.model import Model
+from repro.lp.solution import SolveResult, SolveStatus
+from repro.lp.standard_form import StandardForm, to_standard_form
+
+__all__ = ["solve_with_bnb"]
+
+_INT_TOL = 1e-6
+_BOUND_TOL = 1e-9
+
+
+@dataclass(order=True)
+class _Node:
+    bound: float  # LP relaxation value (minimization) — priority key
+    order: int
+    lb: np.ndarray = field(compare=False)
+    ub: np.ndarray = field(compare=False)
+
+
+def _solve_relaxation(
+    form: StandardForm, lb: np.ndarray, ub: np.ndarray
+) -> tuple[float, np.ndarray] | None:
+    """LP relaxation under the node bounds; ``None`` when infeasible."""
+    result = optimize.linprog(
+        c=form.c,
+        A_ub=form.a_ub if form.a_ub.shape[0] else None,
+        b_ub=form.b_ub if form.a_ub.shape[0] else None,
+        A_eq=form.a_eq if form.a_eq.shape[0] else None,
+        b_eq=form.b_eq if form.a_eq.shape[0] else None,
+        bounds=np.column_stack([lb, ub]),
+        method="highs",
+    )
+    if result.status == 2:  # infeasible
+        return None
+    if result.status == 3:  # unbounded
+        return (-math.inf, np.full(form.n_vars, math.nan))
+    if not result.success:  # pragma: no cover - numerical trouble
+        return None
+    return float(result.fun), np.asarray(result.x)
+
+
+def _most_fractional(x: np.ndarray, integrality: np.ndarray) -> int | None:
+    """Index of the integer variable farthest from integrality, or None."""
+    best_index: int | None = None
+    best_frac = _INT_TOL
+    for i, flag in enumerate(integrality):
+        if not flag:
+            continue
+        frac = abs(x[i] - round(x[i]))
+        distance = min(frac, 1.0 - frac) if frac > 0.5 else frac
+        distance = abs(x[i] - math.floor(x[i]) - 0.5)
+        score = 0.5 - distance  # 0.5 == perfectly fractional
+        if score > best_frac and abs(x[i] - round(x[i])) > _INT_TOL:
+            best_frac = score
+            best_index = i
+    if best_index is not None:
+        return best_index
+    # Fall back to any fractional variable above tolerance.
+    for i, flag in enumerate(integrality):
+        if flag and abs(x[i] - round(x[i])) > _INT_TOL:
+            return i
+    return None
+
+
+def solve_with_bnb(
+    model: Model,
+    time_limit_s: float | None = None,
+    max_nodes: int = 200_000,
+) -> SolveResult:
+    """Solve ``model`` by branch-and-bound over LP relaxations.
+
+    Parameters
+    ----------
+    model:
+        LP or MILP to solve.
+    time_limit_s:
+        Wall-clock budget; the best incumbent (if any) is returned as
+        ``FEASIBLE`` when exceeded.
+    max_nodes:
+        Hard cap on explored nodes, a second safety valve.
+    """
+    form = to_standard_form(model)
+    start = time.perf_counter()
+
+    root = _solve_relaxation(form, form.lb.copy(), form.ub.copy())
+    if root is None:
+        return SolveResult(
+            status=SolveStatus.INFEASIBLE, solver="bnb",
+            wall_time_s=time.perf_counter() - start,
+        )
+    root_bound, root_x = root
+    if math.isinf(root_bound) and root_bound < 0:
+        return SolveResult(
+            status=SolveStatus.UNBOUNDED, solver="bnb",
+            wall_time_s=time.perf_counter() - start,
+        )
+
+    tie = count()
+    heap: list[_Node] = [_Node(root_bound, next(tie), form.lb.copy(), form.ub.copy())]
+    incumbent_value = math.inf  # minimized objective
+    incumbent_x: np.ndarray | None = None
+    nodes = 0
+    timed_out = False
+
+    while heap:
+        if time_limit_s is not None and time.perf_counter() - start > time_limit_s:
+            timed_out = True
+            break
+        if nodes >= max_nodes:
+            timed_out = True
+            break
+        node = heapq.heappop(heap)
+        if node.bound >= incumbent_value - _BOUND_TOL:
+            continue  # pruned by bound
+        relaxed = _solve_relaxation(form, node.lb, node.ub)
+        nodes += 1
+        if relaxed is None:
+            continue
+        value, x = relaxed
+        if value >= incumbent_value - _BOUND_TOL:
+            continue
+        branch_var = _most_fractional(x, form.integrality)
+        if branch_var is None:
+            # Integral solution — new incumbent.
+            incumbent_value = value
+            incumbent_x = x.copy()
+            continue
+        floor_val = math.floor(x[branch_var] + _INT_TOL)
+        # Down branch: ub[branch_var] = floor
+        down_ub = node.ub.copy()
+        down_ub[branch_var] = floor_val
+        if form.lb[branch_var] <= floor_val:
+            heapq.heappush(heap, _Node(value, next(tie), node.lb.copy(), down_ub))
+        # Up branch: lb[branch_var] = floor + 1
+        up_lb = node.lb.copy()
+        up_lb[branch_var] = floor_val + 1
+        if floor_val + 1 <= form.ub[branch_var]:
+            heapq.heappush(heap, _Node(value, next(tie), up_lb, node.ub.copy()))
+
+    elapsed = time.perf_counter() - start
+    if incumbent_x is None:
+        status = SolveStatus.TIMEOUT if timed_out else SolveStatus.INFEASIBLE
+        return SolveResult(status=status, solver="bnb", wall_time_s=elapsed, nodes=nodes)
+
+    # Snap near-integral values exactly.
+    snapped = incumbent_x.copy()
+    for i, flag in enumerate(form.integrality):
+        if flag:
+            snapped[i] = round(snapped[i])
+    values = {name: float(v) for name, v in zip(form.var_names, snapped)}
+    status = SolveStatus.FEASIBLE if timed_out and heap else SolveStatus.OPTIMAL
+    return SolveResult(
+        status=status,
+        objective=form.objective_value(incumbent_value),
+        values=values,
+        solver="bnb",
+        wall_time_s=elapsed,
+        nodes=nodes,
+    )

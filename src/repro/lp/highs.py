@@ -1,0 +1,112 @@
+"""MILP solving through SciPy's HiGHS backend.
+
+The paper solves problem P′ with Gurobi; offline we use
+:func:`scipy.optimize.milp` (the HiGHS solver), which solves the identical
+integer program to proven optimality.  See DESIGN.md for the substitution
+rationale.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from scipy import optimize, sparse
+
+from repro.lp.model import Model
+from repro.lp.solution import SolveResult, SolveStatus
+from repro.lp.standard_form import to_standard_form
+
+__all__ = ["solve_with_highs"]
+
+# scipy.optimize.milp status codes (documented in scipy):
+_MILP_OPTIMAL = 0
+_MILP_ITER_OR_TIME = 1
+_MILP_INFEASIBLE = 2
+_MILP_UNBOUNDED = 3
+_MILP_NUMERICAL = 4
+
+
+def solve_with_highs(
+    model: Model,
+    time_limit_s: float | None = None,
+    mip_rel_gap: float = 0.0,
+) -> SolveResult:
+    """Solve ``model`` with HiGHS via :func:`scipy.optimize.milp`.
+
+    Parameters
+    ----------
+    model:
+        The model to solve (LP or MILP).
+    time_limit_s:
+        Optional wall-clock limit.  If hit with an incumbent, the result
+        status is :attr:`SolveStatus.FEASIBLE`; without one,
+        :attr:`SolveStatus.TIMEOUT`.
+    mip_rel_gap:
+        Relative optimality gap at which HiGHS may stop early.
+    """
+    form = to_standard_form(model)
+    constraints = []
+    if form.a_ub.shape[0]:
+        constraints.append(
+            optimize.LinearConstraint(form.a_ub, -np.inf, form.b_ub)
+        )
+    if form.a_eq.shape[0]:
+        constraints.append(
+            optimize.LinearConstraint(form.a_eq, form.b_eq, form.b_eq)
+        )
+    if not constraints:
+        # milp requires a constraints argument shape it can handle; give a
+        # vacuous one covering all variables.
+        constraints.append(
+            optimize.LinearConstraint(
+                sparse.csr_matrix((1, form.n_vars)), -np.inf, np.inf
+            )
+        )
+    options: dict[str, float] = {}
+    if time_limit_s is not None:
+        options["time_limit"] = float(time_limit_s)
+    if mip_rel_gap:
+        options["mip_rel_gap"] = float(mip_rel_gap)
+
+    start = time.perf_counter()
+    raw = optimize.milp(
+        c=form.c,
+        constraints=constraints,
+        integrality=form.integrality,
+        bounds=optimize.Bounds(form.lb, form.ub),
+        options=options or None,
+    )
+    elapsed = time.perf_counter() - start
+
+    if raw.status == _MILP_INFEASIBLE:
+        status = SolveStatus.INFEASIBLE
+    elif raw.status == _MILP_UNBOUNDED:
+        status = SolveStatus.UNBOUNDED
+    elif raw.status == _MILP_OPTIMAL and raw.x is not None:
+        status = SolveStatus.OPTIMAL
+    elif raw.x is not None:
+        status = SolveStatus.FEASIBLE
+    elif raw.status == _MILP_ITER_OR_TIME:
+        status = SolveStatus.TIMEOUT
+    else:
+        status = SolveStatus.ERROR
+
+    values: dict[str, float] = {}
+    objective = None
+    gap = None
+    if raw.x is not None:
+        values = {name: float(v) for name, v in zip(form.var_names, raw.x)}
+        objective = form.objective_value(float(raw.fun))
+        gap = getattr(raw, "mip_gap", None)
+
+    return SolveResult(
+        status=status,
+        objective=objective,
+        values=values,
+        solver="highs",
+        wall_time_s=elapsed,
+        gap=gap,
+        nodes=getattr(raw, "mip_node_count", None),
+        message=str(getattr(raw, "message", "")),
+    )

@@ -1,0 +1,320 @@
+"""A small linear/mixed-integer programming modelling DSL.
+
+The FMSSM formulation (problem P′ of the paper) is expressed through this
+layer, which compiles to matrix standard form for the solvers in
+:mod:`repro.lp.highs` and :mod:`repro.lp.branch_and_bound`.
+
+Example
+-------
+>>> m = Model("toy")
+>>> x = m.add_var("x", lb=0, ub=10)
+>>> y = m.add_var("y", binary=True)
+>>> _ = m.add_constraint(x + 5 * y <= 8, name="cap")
+>>> m.set_objective(x + 3 * y, sense="max")
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.exceptions import ModelError
+
+__all__ = ["Var", "LinExpr", "Constraint", "Model", "LESS_EQUAL", "GREATER_EQUAL", "EQUAL"]
+
+LESS_EQUAL = "<="
+GREATER_EQUAL = ">="
+EQUAL = "=="
+_SENSES = (LESS_EQUAL, GREATER_EQUAL, EQUAL)
+
+
+@dataclass(frozen=True)
+class Var:
+    """A decision variable.  Created through :meth:`Model.add_var`."""
+
+    name: str
+    index: int
+    lb: float
+    ub: float
+    integer: bool
+
+    def __add__(self, other: "Var | LinExpr | float") -> "LinExpr":
+        return LinExpr.from_term(self) + other
+
+    def __radd__(self, other: float) -> "LinExpr":
+        return LinExpr.from_term(self) + other
+
+    def __sub__(self, other: "Var | LinExpr | float") -> "LinExpr":
+        return LinExpr.from_term(self) - other
+
+    def __rsub__(self, other: float) -> "LinExpr":
+        return LinExpr(constant=float(other)) - LinExpr.from_term(self)
+
+    def __mul__(self, coefficient: float) -> "LinExpr":
+        return LinExpr.from_term(self, coefficient)
+
+    def __rmul__(self, coefficient: float) -> "LinExpr":
+        return LinExpr.from_term(self, coefficient)
+
+    def __neg__(self) -> "LinExpr":
+        return LinExpr.from_term(self, -1.0)
+
+    def __le__(self, other: "Var | LinExpr | float") -> "Constraint":
+        return LinExpr.from_term(self) <= other
+
+    def __ge__(self, other: "Var | LinExpr | float") -> "Constraint":
+        return LinExpr.from_term(self) >= other
+
+    # NOTE: Var is a frozen dataclass, so __eq__ keeps identity semantics;
+    # build equality constraints from LinExpr (e.g. ``1 * x == 3``).
+
+
+@dataclass
+class LinExpr:
+    """A linear expression: ``sum(coef * var) + constant``."""
+
+    coefficients: dict[int, float] = field(default_factory=dict)
+    constant: float = 0.0
+    _vars: dict[int, Var] = field(default_factory=dict)
+
+    @classmethod
+    def from_term(cls, var: Var, coefficient: float = 1.0) -> "LinExpr":
+        """Build an expression from a single scaled variable."""
+        return cls(
+            coefficients={var.index: float(coefficient)},
+            constant=0.0,
+            _vars={var.index: var},
+        )
+
+    @classmethod
+    def total(cls, terms: Iterable[tuple[float, Var]]) -> "LinExpr":
+        """Build ``sum(coef * var)`` efficiently from ``(coef, var)`` pairs."""
+        expr = cls()
+        for coefficient, var in terms:
+            expr._add_term(var, float(coefficient))
+        return expr
+
+    def _add_term(self, var: Var, coefficient: float) -> None:
+        self.coefficients[var.index] = self.coefficients.get(var.index, 0.0) + coefficient
+        self._vars[var.index] = var
+
+    def copy(self) -> "LinExpr":
+        """An independent copy."""
+        return LinExpr(dict(self.coefficients), self.constant, dict(self._vars))
+
+    def variables(self) -> list[Var]:
+        """Variables appearing in the expression (any coefficient)."""
+        return [self._vars[i] for i in sorted(self._vars)]
+
+    # -- arithmetic -----------------------------------------------------
+    def __add__(self, other: "Var | LinExpr | float") -> "LinExpr":
+        result = self.copy()
+        if isinstance(other, Var):
+            result._add_term(other, 1.0)
+        elif isinstance(other, LinExpr):
+            for index, coefficient in other.coefficients.items():
+                result.coefficients[index] = result.coefficients.get(index, 0.0) + coefficient
+                result._vars[index] = other._vars[index]
+            result.constant += other.constant
+        elif isinstance(other, (int, float)):
+            result.constant += float(other)
+        else:
+            return NotImplemented
+        return result
+
+    def __radd__(self, other: float) -> "LinExpr":
+        return self + other
+
+    def __sub__(self, other: "Var | LinExpr | float") -> "LinExpr":
+        if isinstance(other, Var):
+            return self + LinExpr.from_term(other, -1.0)
+        if isinstance(other, LinExpr):
+            return self + (other * -1.0)
+        if isinstance(other, (int, float)):
+            return self + (-float(other))
+        return NotImplemented
+
+    def __rsub__(self, other: float) -> "LinExpr":
+        return (self * -1.0) + float(other)
+
+    def __mul__(self, scalar: float) -> "LinExpr":
+        if not isinstance(scalar, (int, float)):
+            return NotImplemented
+        result = self.copy()
+        result.constant *= float(scalar)
+        for index in result.coefficients:
+            result.coefficients[index] *= float(scalar)
+        return result
+
+    def __rmul__(self, scalar: float) -> "LinExpr":
+        return self * scalar
+
+    def __neg__(self) -> "LinExpr":
+        return self * -1.0
+
+    # -- comparisons build constraints ---------------------------------
+    def __le__(self, other: "Var | LinExpr | float") -> "Constraint":
+        return Constraint.build(self, LESS_EQUAL, other)
+
+    def __ge__(self, other: "Var | LinExpr | float") -> "Constraint":
+        return Constraint.build(self, GREATER_EQUAL, other)
+
+    def __eq__(self, other: object) -> "Constraint":  # type: ignore[override]
+        if isinstance(other, (Var, LinExpr, int, float)):
+            return Constraint.build(self, EQUAL, other)
+        return NotImplemented
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:
+        parts = [
+            f"{coefficient:+g}*{self._vars[index].name}"
+            for index, coefficient in sorted(self.coefficients.items())
+            if coefficient != 0.0
+        ]
+        if self.constant or not parts:
+            parts.append(f"{self.constant:+g}")
+        return " ".join(parts)
+
+
+@dataclass
+class Constraint:
+    """``expr (sense) 0`` — the right-hand side is folded into ``expr``."""
+
+    expr: LinExpr
+    sense: str
+    name: str = ""
+
+    @classmethod
+    def build(
+        cls,
+        left: "Var | LinExpr | float",
+        sense: str,
+        right: "Var | LinExpr | float",
+    ) -> "Constraint":
+        """Normalize ``left sense right`` into ``expr sense 0``."""
+        if sense not in _SENSES:
+            raise ModelError(f"unknown constraint sense {sense!r}")
+        left_expr = LinExpr.from_term(left) if isinstance(left, Var) else (
+            LinExpr(constant=float(left)) if isinstance(left, (int, float)) else left
+        )
+        diff = left_expr - right
+        if not isinstance(diff, LinExpr):
+            raise ModelError(f"cannot build constraint from {left!r} and {right!r}")
+        if not diff.coefficients:
+            raise ModelError("constraint has no variables")
+        return cls(expr=diff, sense=sense)
+
+    @property
+    def rhs(self) -> float:
+        """Right-hand side after moving the constant over: ``-constant``."""
+        return -self.expr.constant
+
+    def __repr__(self) -> str:
+        label = f"{self.name}: " if self.name else ""
+        body = LinExpr(dict(self.expr.coefficients), 0.0, dict(self.expr._vars))
+        return f"{label}{body!r} {self.sense} {self.rhs:g}"
+
+
+class Model:
+    """A mixed-integer linear program under construction."""
+
+    def __init__(self, name: str = "model") -> None:
+        self.name = name
+        self._vars: list[Var] = []
+        self._names: set[str] = set()
+        self._constraints: list[Constraint] = []
+        self._objective: LinExpr | None = None
+        self._sense: str = "min"
+
+    # -- building -------------------------------------------------------
+    def add_var(
+        self,
+        name: str,
+        lb: float = 0.0,
+        ub: float = math.inf,
+        integer: bool = False,
+        binary: bool = False,
+    ) -> Var:
+        """Add a decision variable.
+
+        ``binary=True`` is shorthand for an integer variable in [0, 1].
+        Variable names must be unique within the model.
+        """
+        if name in self._names:
+            raise ModelError(f"duplicate variable name {name!r}")
+        if binary:
+            lb, ub, integer = 0.0, 1.0, True
+        if lb > ub:
+            raise ModelError(f"variable {name!r} has lb {lb} > ub {ub}")
+        var = Var(name=name, index=len(self._vars), lb=float(lb), ub=float(ub), integer=integer)
+        self._vars.append(var)
+        self._names.add(name)
+        return var
+
+    def add_constraint(self, constraint: Constraint, name: str = "") -> Constraint:
+        """Register a constraint built with ``<=``, ``>=`` or ``==``."""
+        if not isinstance(constraint, Constraint):
+            raise ModelError(
+                f"expected a Constraint (did the comparison degrade to bool?): "
+                f"{constraint!r}"
+            )
+        if name:
+            constraint.name = name
+        self._constraints.append(constraint)
+        return constraint
+
+    def set_objective(self, expr: "Var | LinExpr", sense: str = "min") -> None:
+        """Set the objective expression and direction (``min`` or ``max``)."""
+        if sense not in ("min", "max"):
+            raise ModelError(f"objective sense must be 'min' or 'max': {sense!r}")
+        if isinstance(expr, Var):
+            expr = LinExpr.from_term(expr)
+        if not isinstance(expr, LinExpr):
+            raise ModelError(f"objective must be linear: {expr!r}")
+        self._objective = expr.copy()
+        self._sense = sense
+
+    # -- introspection ----------------------------------------------------
+    @property
+    def variables(self) -> tuple[Var, ...]:
+        """All variables in index order."""
+        return tuple(self._vars)
+
+    @property
+    def constraints(self) -> tuple[Constraint, ...]:
+        """All registered constraints."""
+        return tuple(self._constraints)
+
+    @property
+    def objective(self) -> LinExpr:
+        """The objective expression (zero if unset)."""
+        return self._objective.copy() if self._objective is not None else LinExpr()
+
+    @property
+    def sense(self) -> str:
+        """Objective direction: ``"min"`` or ``"max"``."""
+        return self._sense
+
+    @property
+    def n_vars(self) -> int:
+        """Number of variables."""
+        return len(self._vars)
+
+    @property
+    def n_integer_vars(self) -> int:
+        """Number of integer (including binary) variables."""
+        return sum(1 for v in self._vars if v.integer)
+
+    @property
+    def n_constraints(self) -> int:
+        """Number of constraints."""
+        return len(self._constraints)
+
+    def __repr__(self) -> str:
+        return (
+            f"Model(name={self.name!r}, vars={self.n_vars} "
+            f"({self.n_integer_vars} int), constraints={self.n_constraints}, "
+            f"sense={self._sense})"
+        )

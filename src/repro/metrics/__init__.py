@@ -1,0 +1,11 @@
+"""Metric helpers: distribution summaries and fairness indices."""
+
+from repro.metrics.fairness import balance_report, jain_fairness_index
+from repro.metrics.summary import FiveNumberSummary, summarize
+
+__all__ = [
+    "FiveNumberSummary",
+    "summarize",
+    "jain_fairness_index",
+    "balance_report",
+]

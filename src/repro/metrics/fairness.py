@@ -1,0 +1,47 @@
+"""Fairness metrics for programmability distributions.
+
+The paper's second design consideration is *balanced* path
+programmability: "we should treat each offline flow equally by
+recovering each offline flow with the similar programmability".  Jain's
+fairness index quantifies exactly that — 1.0 when every flow has the
+same programmability, approaching ``1/n`` when one flow holds it all —
+so recovery algorithms can be compared on balance, not just totals.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["jain_fairness_index", "balance_report"]
+
+
+def jain_fairness_index(values: Sequence[float]) -> float:
+    """Jain's fairness index: ``(sum x)^2 / (n * sum x^2)``.
+
+    Returns 1.0 for an empty or all-zero input (nothing to be unfair
+    about).  Negative values are rejected.
+    """
+    if not values:
+        return 1.0
+    if any(v < 0 for v in values):
+        raise ValueError(f"fairness is defined for non-negative values: {values!r}")
+    total = float(sum(values))
+    squares = float(sum(v * v for v in values))
+    if squares == 0.0:
+        return 1.0
+    return total * total / (len(values) * squares)
+
+
+def balance_report(values: Sequence[float]) -> dict[str, float]:
+    """Fairness summary of a programmability distribution.
+
+    Returns Jain's index plus the min/max ratio (0 when any flow is
+    unrecovered — the imbalance RetroFlow exhibits).
+    """
+    fairness = jain_fairness_index(values)
+    if not values or max(values) == 0:
+        return {"jain": fairness, "min_max_ratio": 1.0 if not values else 0.0}
+    return {
+        "jain": fairness,
+        "min_max_ratio": min(values) / max(values),
+    }

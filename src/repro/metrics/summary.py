@@ -1,0 +1,56 @@
+"""Distribution summaries used to reproduce the paper's box plots.
+
+Figures 4(a), 5(a) and 6(a) of the paper are box plots of per-flow path
+programmability; we reproduce them numerically as five-number summaries
+(min, Q1, median, Q3, max) plus mean.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FiveNumberSummary", "summarize"]
+
+
+@dataclass(frozen=True, slots=True)
+class FiveNumberSummary:
+    """Box-plot statistics of one distribution."""
+
+    count: int
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    mean: float
+
+    def as_row(self) -> tuple[float, float, float, float, float]:
+        """(min, Q1, median, Q3, max) for table rendering."""
+        return (self.minimum, self.q1, self.median, self.q3, self.maximum)
+
+    def __str__(self) -> str:
+        return (
+            f"min={self.minimum:g} q1={self.q1:g} med={self.median:g} "
+            f"q3={self.q3:g} max={self.maximum:g} mean={self.mean:.2f} "
+            f"(n={self.count})"
+        )
+
+
+def summarize(values: Sequence[float]) -> FiveNumberSummary:
+    """Five-number summary of ``values`` (empty input yields zeros)."""
+    if not values:
+        return FiveNumberSummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    arr = np.asarray(values, dtype=float)
+    q1, med, q3 = np.percentile(arr, [25, 50, 75])
+    return FiveNumberSummary(
+        count=len(arr),
+        minimum=float(arr.min()),
+        q1=float(q1),
+        median=float(med),
+        q3=float(q3),
+        maximum=float(arr.max()),
+        mean=float(arr.mean()),
+    )

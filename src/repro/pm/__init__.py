@@ -1,0 +1,5 @@
+"""The ProgrammabilityMedic heuristic (the paper's Algorithm 1)."""
+
+from repro.pm.algorithm import ProgrammabilityMedic, solve_pm
+
+__all__ = ["ProgrammabilityMedic", "solve_pm"]

@@ -1,0 +1,35 @@
+"""Routing substrate: shortest paths, k-paths, legacy tables, path counting."""
+
+from repro.routing.kpaths import k_shortest_paths, path_weight
+from repro.routing.ospf import LegacyRoutingTable, compute_legacy_tables
+from repro.routing.path_count import (
+    BoundedSimplePathCounter,
+    LoopFreeAlternateCounter,
+    PathCounter,
+    ShortestDagCounter,
+    make_counter,
+)
+from repro.routing.programmability import ProgrammabilityModel
+from repro.routing.shortest import (
+    delay_distances_to,
+    hop_distances_to,
+    shortest_path_dag,
+    weight_attribute,
+)
+
+__all__ = [
+    "k_shortest_paths",
+    "path_weight",
+    "LegacyRoutingTable",
+    "compute_legacy_tables",
+    "PathCounter",
+    "BoundedSimplePathCounter",
+    "ShortestDagCounter",
+    "LoopFreeAlternateCounter",
+    "make_counter",
+    "ProgrammabilityModel",
+    "hop_distances_to",
+    "delay_distances_to",
+    "shortest_path_dag",
+    "weight_attribute",
+]

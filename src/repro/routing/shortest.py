@@ -1,0 +1,90 @@
+"""Shortest-path helpers built on Dijkstra.
+
+Provides deterministic single-pair paths, all-target hop distances (used to
+prune simple-path enumeration), and the shortest-path DAG used by one of
+the programmability counting strategies.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.exceptions import RoutingError
+from repro.topology.graph import Topology
+from repro.types import NodeId
+
+__all__ = [
+    "weight_attribute",
+    "hop_distances_to",
+    "delay_distances_to",
+    "shortest_path_dag",
+]
+
+_WEIGHTS = {"delay": "delay_ms", "distance": "distance_m", "hops": None}
+
+
+def weight_attribute(weight: str) -> str | None:
+    """Map a metric name to the topology edge attribute (``None`` = hops)."""
+    try:
+        return _WEIGHTS[weight]
+    except KeyError:
+        raise RoutingError(f"unknown weight metric {weight!r}; use one of {sorted(_WEIGHTS)}") from None
+
+
+def hop_distances_to(topology: Topology, dst: NodeId) -> dict[NodeId, int]:
+    """Hop count from every node to ``dst`` (BFS)."""
+    if dst not in topology:
+        raise RoutingError(f"unknown node {dst!r}")
+    return dict(nx.single_source_shortest_path_length(topology.graph, dst))
+
+
+def delay_distances_to(topology: Topology, dst: NodeId) -> dict[NodeId, float]:
+    """Propagation delay of the min-delay path from every node to ``dst``."""
+    if dst not in topology:
+        raise RoutingError(f"unknown node {dst!r}")
+    return dict(
+        nx.single_source_dijkstra_path_length(topology.graph, dst, weight="delay_ms")
+    )
+
+
+def shortest_path_dag(
+    topology: Topology, dst: NodeId, weight: str = "delay"
+) -> dict[NodeId, tuple[NodeId, ...]]:
+    """The shortest-path DAG toward ``dst``.
+
+    Returns, for every node ``u != dst``, the tuple of neighbors ``v`` such
+    that ``dist(u) == w(u, v) + dist(v)`` under the chosen metric — i.e.
+    every next hop that lies on *some* shortest path from ``u`` to ``dst``.
+    ECMP-style routing fans out over exactly these successors.
+    """
+    attr = weight_attribute(weight)
+    graph = topology.graph
+    if attr is None:
+        dist: dict[NodeId, float] = {
+            n: float(d)
+            for n, d in nx.single_source_shortest_path_length(graph, dst).items()
+        }
+
+        def edge_w(u: NodeId, v: NodeId) -> float:
+            return 1.0
+
+    else:
+        dist = dict(nx.single_source_dijkstra_path_length(graph, dst, weight=attr))
+
+        def edge_w(u: NodeId, v: NodeId) -> float:
+            return graph.edges[u, v][attr]
+
+    dag: dict[NodeId, tuple[NodeId, ...]] = {}
+    tolerance = 1e-9
+    for u in topology.nodes:
+        if u == dst:
+            continue
+        successors = tuple(
+            sorted(
+                v
+                for v in graph.neighbors(u)
+                if abs(dist[u] - (edge_w(u, v) + dist[v])) <= tolerance * max(1.0, dist[u])
+            )
+        )
+        dag[u] = successors
+    return dag

@@ -1,0 +1,16 @@
+"""Discrete-event simulation: engine + recovery timeline."""
+
+from repro.simulation.engine import SimulationError, Simulator
+from repro.simulation.timeline import (
+    TimelineParameters,
+    TimelineReport,
+    simulate_recovery_timeline,
+)
+
+__all__ = [
+    "Simulator",
+    "SimulationError",
+    "TimelineParameters",
+    "TimelineReport",
+    "simulate_recovery_timeline",
+]

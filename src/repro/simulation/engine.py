@@ -1,0 +1,90 @@
+"""A minimal discrete-event simulation engine.
+
+Classic event-queue design: events are (time, sequence, action) triples
+ordered by time (FIFO among ties); actions may schedule further events.
+Used by :mod:`repro.simulation.timeline` to model the recovery control
+loop, and reusable for any other time-domain experiment.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.exceptions import ReproError
+
+__all__ = ["SimulationError", "Simulator"]
+
+
+class SimulationError(ReproError):
+    """Invalid use of the simulation engine."""
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+
+
+class Simulator:
+    """Event-driven simulator with a millisecond clock."""
+
+    def __init__(self) -> None:
+        self._queue: list[_Event] = []
+        self._now = 0.0
+        self._seq = 0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in milliseconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still scheduled."""
+        return len(self._queue)
+
+    def schedule(self, delay_ms: float, action: Callable[[], None]) -> None:
+        """Schedule ``action`` to run ``delay_ms`` after the current time."""
+        if delay_ms < 0:
+            raise SimulationError(f"cannot schedule into the past: {delay_ms!r}")
+        self._seq += 1
+        heapq.heappush(self._queue, _Event(self._now + delay_ms, self._seq, action))
+
+    def schedule_at(self, time_ms: float, action: Callable[[], None]) -> None:
+        """Schedule ``action`` at an absolute time (not before now)."""
+        if time_ms < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time_ms!r} (now is {self._now!r})"
+            )
+        self._seq += 1
+        heapq.heappush(self._queue, _Event(time_ms, self._seq, action))
+
+    def run(self, until_ms: float | None = None, max_events: int = 1_000_000) -> float:
+        """Process events in time order.
+
+        Stops when the queue drains, when the next event would exceed
+        ``until_ms``, or after ``max_events`` (guarding against runaway
+        self-scheduling).  Returns the final simulation time.
+        """
+        executed = 0
+        while self._queue:
+            if executed >= max_events:
+                raise SimulationError(f"exceeded max_events={max_events}")
+            if until_ms is not None and self._queue[0].time > until_ms:
+                self._now = until_ms
+                return self._now
+            event = heapq.heappop(self._queue)
+            self._now = event.time
+            event.action()
+            executed += 1
+            self._processed += 1
+        return self._now

@@ -1,0 +1,24 @@
+"""Traffic engineering over recovered programmability (application layer)."""
+
+from repro.te.capacity import (
+    betweenness_capacities,
+    link_loads,
+    link_utilization,
+    max_link_utilization,
+    uniform_capacities,
+)
+from repro.te.engineer import RerouteAction, TrafficEngineer, TrafficEngineeringResult
+from repro.te.recovered import controllable_nodes, programmable_switches
+
+__all__ = [
+    "uniform_capacities",
+    "betweenness_capacities",
+    "link_loads",
+    "link_utilization",
+    "max_link_utilization",
+    "TrafficEngineer",
+    "TrafficEngineeringResult",
+    "RerouteAction",
+    "programmable_switches",
+    "controllable_nodes",
+]

@@ -1,0 +1,97 @@
+"""Link capacities and utilization for the traffic-engineering layer.
+
+The paper motivates path programmability with network performance under
+traffic variation: a programmable flow can be moved off a congested
+link.  This module supplies the measurement side — link loads, link
+capacities, and the classic max-link-utilization (MLU) objective.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+import networkx as nx
+
+from repro.exceptions import TopologyError
+from repro.flows.flow import Flow
+from repro.topology.graph import Topology
+from repro.types import Edge
+
+__all__ = [
+    "uniform_capacities",
+    "betweenness_capacities",
+    "link_loads",
+    "link_utilization",
+    "max_link_utilization",
+]
+
+
+def _canonical(edge: Edge) -> Edge:
+    u, v = edge
+    return (u, v) if u <= v else (v, u)
+
+
+def uniform_capacities(topology: Topology, capacity: float) -> dict[Edge, float]:
+    """The same capacity on every link."""
+    if capacity <= 0:
+        raise TopologyError(f"link capacity must be positive: {capacity!r}")
+    return {edge: float(capacity) for edge in topology.edges()}
+
+
+def betweenness_capacities(
+    topology: Topology,
+    base: float,
+    scale: float = 4.0,
+) -> dict[Edge, float]:
+    """Capacities proportional to edge betweenness (core links are fat).
+
+    ``capacity = base * (1 + scale * normalized_betweenness)`` — a
+    standard synthetic provisioning when real capacities are unknown:
+    heavily-used core links get up to ``1 + scale`` times the base.
+    """
+    if base <= 0 or scale < 0:
+        raise TopologyError(f"invalid capacity parameters base={base!r} scale={scale!r}")
+    betweenness = nx.edge_betweenness_centrality(topology.graph, normalized=True)
+    top = max(betweenness.values()) or 1.0
+    return {
+        _canonical(edge): base * (1.0 + scale * value / top)
+        for edge, value in betweenness.items()
+    }
+
+
+def link_loads(topology: Topology, flows: Iterable[Flow]) -> dict[Edge, float]:
+    """Aggregate demand per undirected link (both directions summed)."""
+    loads = {edge: 0.0 for edge in topology.edges()}
+    for flow in flows:
+        for u, v in zip(flow.path, flow.path[1:]):
+            edge = _canonical((u, v))
+            if edge not in loads:
+                raise TopologyError(f"flow {flow.flow_id} uses missing link {edge}")
+            loads[edge] += flow.demand
+    return loads
+
+
+def link_utilization(
+    topology: Topology,
+    flows: Iterable[Flow],
+    capacities: Mapping[Edge, float],
+) -> dict[Edge, float]:
+    """Per-link utilization (load / capacity)."""
+    loads = link_loads(topology, flows)
+    out = {}
+    for edge, load in loads.items():
+        capacity = capacities.get(edge)
+        if capacity is None or capacity <= 0:
+            raise TopologyError(f"no positive capacity for link {edge}")
+        out[edge] = load / capacity
+    return out
+
+
+def max_link_utilization(
+    topology: Topology,
+    flows: Iterable[Flow],
+    capacities: Mapping[Edge, float],
+) -> float:
+    """The MLU objective: the utilization of the busiest link."""
+    utilization = link_utilization(topology, flows, capacities)
+    return max(utilization.values()) if utilization else 0.0

@@ -1,0 +1,71 @@
+"""Bridge from recovery solutions to traffic-engineering inputs.
+
+Turns a :class:`~repro.fmssm.solution.RecoverySolution` into the two
+things the :class:`~repro.te.engineer.TrafficEngineer` needs: which
+switches each flow can be deviated at, and which switches may carry new
+path suffixes (i.e. can receive flow entries).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.control.failures import FailureScenario
+from repro.control.plane import ControlPlane
+from repro.flows.flow import Flow
+from repro.fmssm.instance import FMSSMInstance
+from repro.fmssm.solution import RecoverySolution
+from repro.types import FlowId, NodeId
+
+__all__ = ["programmable_switches", "controllable_nodes"]
+
+
+def programmable_switches(
+    instance: FMSSMInstance,
+    solution: RecoverySolution,
+    all_flows: Iterable[Flow],
+) -> dict[FlowId, frozenset[NodeId]]:
+    """Per-flow switches where the flow can be deviated after recovery.
+
+    Every flow keeps programmability at its *online* transit switches
+    (their own controllers never failed).  At *offline* switches a flow
+    is programmable only where the recovery put it in SDN mode under a
+    serving controller — this is exactly where algorithms differ.
+    """
+    offline = set(instance.switches)
+    active_pairs = set(solution.active_pairs()) if solution.feasible else set()
+    out: dict[FlowId, frozenset[NodeId]] = {}
+    for flow in all_flows:
+        switches = {
+            s for s in flow.transit_switches if s not in offline
+        }
+        switches.update(
+            s
+            for s in flow.transit_switches
+            if s in offline and (s, flow.flow_id) in active_pairs
+        )
+        out[flow.flow_id] = frozenset(switches)
+    return out
+
+
+def controllable_nodes(
+    plane: ControlPlane,
+    scenario: FailureScenario,
+    solution: RecoverySolution,
+) -> frozenset[NodeId]:
+    """Switches that can receive new flow entries after recovery.
+
+    Online switches are always controllable; offline switches only when
+    the recovery reconnected them to the control plane — via a
+    switch-controller mapping, or (for flow-level solutions like PG) by
+    serving at least one pair there through the middle layer.  A new
+    path suffix through an unrecovered offline switch could not be
+    installed.
+    """
+    offline = set(scenario.offline_switches(plane))
+    online = {n for n in plane.topology.nodes if n not in offline}
+    reconnected: set[NodeId] = set()
+    if solution.feasible:
+        reconnected.update(solution.mapping)
+        reconnected.update(s for s, _ in solution.active_pairs())
+    return frozenset(online | (offline & reconnected))

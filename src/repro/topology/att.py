@@ -1,0 +1,163 @@
+"""Embedded reconstruction of the Topology Zoo ATT backbone.
+
+The paper evaluates on "a typical backbone topology ATT from Topology Zoo
+... a national primary topology of US [that] consists of 25 nodes and 112
+links" (Section VI-A).  Topology Zoo counts links directionally, so the
+graph below has 25 nodes and 56 undirected links (112 directed).
+
+We cannot fetch the original ``.gml`` file offline, so this module embeds a
+reconstruction: 25 AT&T points of presence at real US city coordinates,
+wired as a realistic continental backbone.  Node 13 (Dallas — AT&T's home
+city) is the highest-degree hub, mirroring the paper's Table III where
+switch 13 carries by far the most flows (213).  The controller placement
+and the domain partition reproduce Table III exactly:
+
+====== ==========================================
+C_2    switches 2, 3, 9, 16         (Southwest)
+C_5    switches 4, 5, 8, 14         (Mountain)
+C_6    switches 0, 1, 6, 7          (West coast)
+C_13   switches 10, 11, 12, 13      (Texas)
+C_20   switches 15, 19, 20          (Midwest)
+C_22   switches 17, 18, 21—24       (East)
+====== ==========================================
+"""
+
+from __future__ import annotations
+
+from repro.geo import GeoPoint
+from repro.topology.graph import Topology
+from repro.types import ControllerId, Edge, NodeId
+
+__all__ = [
+    "ATT_NODES",
+    "ATT_EDGES",
+    "ATT_CONTROLLER_SITES",
+    "ATT_DOMAINS",
+    "ATT_DEFAULT_CAPACITY",
+    "att_topology",
+]
+
+#: Node id -> (city label, latitude, longitude).
+ATT_NODES: dict[NodeId, tuple[str, float, float]] = {
+    0: ("Seattle", 47.6062, -122.3321),
+    1: ("Portland", 45.5152, -122.6784),
+    2: ("Los Angeles", 34.0522, -118.2437),
+    3: ("San Diego", 32.7157, -117.1611),
+    4: ("Salt Lake City", 40.7608, -111.8910),
+    5: ("Denver", 39.7392, -104.9903),
+    6: ("San Francisco", 37.7749, -122.4194),
+    7: ("San Jose", 37.3382, -121.8863),
+    8: ("Albuquerque", 35.0844, -106.6504),
+    9: ("Las Vegas", 36.1699, -115.1398),
+    10: ("Houston", 29.7604, -95.3698),
+    11: ("San Antonio", 29.4241, -98.4936),
+    12: ("Austin", 30.2672, -97.7431),
+    13: ("Dallas", 32.7767, -96.7970),
+    14: ("El Paso", 31.7619, -106.4850),
+    15: ("Kansas City", 39.0997, -94.5786),
+    16: ("Phoenix", 33.4484, -112.0740),
+    17: ("Atlanta", 33.7490, -84.3880),
+    18: ("Orlando", 28.5383, -81.3792),
+    19: ("St. Louis", 38.6270, -90.1994),
+    20: ("Chicago", 41.8781, -87.6298),
+    21: ("Washington DC", 38.9072, -77.0369),
+    22: ("New York", 40.7128, -74.0060),
+    23: ("Philadelphia", 39.9526, -75.1652),
+    24: ("Boston", 42.3601, -71.0589),
+}
+
+#: 56 undirected links (112 directed, matching the paper's count).
+ATT_EDGES: tuple[Edge, ...] = (
+    # Pacific Northwest / West coast
+    (0, 1),    # Seattle - Portland
+    (0, 4),    # Seattle - Salt Lake City
+    (0, 20),   # Seattle - Chicago (long haul)
+    (0, 6),    # Seattle - San Francisco
+    (1, 6),    # Portland - San Francisco
+    (1, 4),    # Portland - Salt Lake City
+    (6, 7),    # San Francisco - San Jose
+    (6, 2),    # San Francisco - Los Angeles
+    (6, 5),    # San Francisco - Denver (long haul)
+    (6, 20),   # San Francisco - Chicago (long haul)
+    (7, 2),    # San Jose - Los Angeles
+    (7, 9),    # San Jose - Las Vegas
+    # Southwest
+    (2, 3),    # Los Angeles - San Diego
+    (2, 9),    # Los Angeles - Las Vegas
+    (2, 16),   # Los Angeles - Phoenix
+    (2, 13),   # Los Angeles - Dallas (long haul)
+    (3, 16),   # San Diego - Phoenix
+    (9, 16),   # Las Vegas - Phoenix
+    (9, 4),    # Las Vegas - Salt Lake City
+    (16, 8),   # Phoenix - Albuquerque
+    (16, 14),  # Phoenix - El Paso
+    # Mountain
+    (4, 5),    # Salt Lake City - Denver
+    (5, 8),    # Denver - Albuquerque
+    (5, 15),   # Denver - Kansas City
+    (5, 13),   # Denver - Dallas
+    (5, 20),   # Denver - Chicago
+    (8, 14),   # Albuquerque - El Paso
+    (8, 13),   # Albuquerque - Dallas
+    # Texas
+    (14, 11),  # El Paso - San Antonio
+    (14, 13),  # El Paso - Dallas
+    (11, 12),  # San Antonio - Austin
+    (11, 10),  # San Antonio - Houston
+    (12, 13),  # Austin - Dallas
+    (12, 10),  # Austin - Houston
+    (10, 13),  # Houston - Dallas
+    (10, 17),  # Houston - Atlanta
+    (10, 18),  # Houston - Orlando (gulf route)
+    (13, 15),  # Dallas - Kansas City
+    (13, 19),  # Dallas - St. Louis
+    (13, 17),  # Dallas - Atlanta
+    # Midwest
+    (15, 19),  # Kansas City - St. Louis
+    (15, 20),  # Kansas City - Chicago
+    (19, 20),  # St. Louis - Chicago
+    (19, 17),  # St. Louis - Atlanta
+    (19, 21),  # St. Louis - Washington DC
+    (20, 22),  # Chicago - New York
+    (20, 24),  # Chicago - Boston
+    (20, 21),  # Chicago - Washington DC
+    # East / Southeast
+    (17, 21),  # Atlanta - Washington DC
+    (17, 18),  # Atlanta - Orlando
+    (17, 22),  # Atlanta - New York
+    (18, 21),  # Orlando - Washington DC
+    (21, 23),  # Washington DC - Philadelphia
+    (21, 22),  # Washington DC - New York
+    (23, 22),  # Philadelphia - New York
+    (22, 24),  # New York - Boston
+)
+
+#: Controller ids and co-located switch nodes (Table III header row).
+ATT_CONTROLLER_SITES: tuple[ControllerId, ...] = (2, 5, 6, 13, 20, 22)
+
+#: Controller id -> switches in its domain (Table III).
+ATT_DOMAINS: dict[ControllerId, tuple[NodeId, ...]] = {
+    2: (2, 3, 9, 16),
+    5: (4, 5, 8, 14),
+    6: (0, 1, 6, 7),
+    13: (10, 11, 12, 13),
+    20: (15, 19, 20),
+    22: (17, 18, 21, 22, 23, 24),
+}
+
+#: "the processing ability of each controller is 500" (Section VI-A).
+ATT_DEFAULT_CAPACITY: int = 500
+
+
+def att_topology() -> Topology:
+    """Build the embedded ATT backbone topology.
+
+    >>> topo = att_topology()
+    >>> topo.n_nodes, topo.n_directed_links
+    (25, 112)
+    """
+    nodes = {
+        node: (label, GeoPoint(lat, lon))
+        for node, (label, lat, lon) in ATT_NODES.items()
+    }
+    return Topology("ATT", nodes, ATT_EDGES)

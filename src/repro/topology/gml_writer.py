@@ -1,0 +1,55 @@
+"""Write topologies back out as Topology Zoo-style GML.
+
+Round-tripping through :mod:`repro.topology.zoo` lets users exchange
+topologies (including the embedded ATT reconstruction) with any tool
+that reads Topology Zoo files.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.topology.graph import Topology
+
+__all__ = ["to_gml", "save_gml"]
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def to_gml(topology: Topology) -> str:
+    """Serialize a topology to GML text (Topology Zoo attribute names)."""
+    lines = [
+        "graph [",
+        f'  Network "{_escape(topology.name)}"',
+        "  directed 0",
+    ]
+    for node in topology.nodes:
+        info = topology.info(node)
+        lines.extend(
+            [
+                "  node [",
+                f"    id {node}",
+                f'    label "{_escape(info.label)}"',
+                f"    Latitude {info.geo.latitude!r}",
+                f"    Longitude {info.geo.longitude!r}",
+                "  ]",
+            ]
+        )
+    for u, v in topology.edges():
+        lines.extend(
+            [
+                "  edge [",
+                f"    source {u}",
+                f"    target {v}",
+                "  ]",
+            ]
+        )
+    lines.append("]")
+    return "\n".join(lines) + "\n"
+
+
+def save_gml(topology: Topology, path: str | Path) -> None:
+    """Write the topology to ``path`` as GML."""
+    Path(path).write_text(to_gml(topology), encoding="utf-8")

@@ -1,0 +1,227 @@
+"""The :class:`Topology` model — a geographic WAN graph.
+
+A topology is an undirected, connected graph whose nodes are SDN switches
+placed at real geographic coordinates and whose edges are WAN links.  Edge
+lengths are great-circle (Haversine) distances and edge delays follow from
+the fibre propagation speed, exactly as in Section VI-A of the paper.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from repro.exceptions import TopologyError
+from repro.geo import GeoPoint, haversine_m, pairwise_distance_matrix
+from repro.types import MS_PER_S, PROPAGATION_SPEED_M_PER_S, Edge, NodeId
+
+__all__ = ["NodeInfo", "Topology"]
+
+
+@dataclass(frozen=True, slots=True)
+class NodeInfo:
+    """Static description of one topology node."""
+
+    node: NodeId
+    label: str
+    geo: GeoPoint
+
+
+class Topology:
+    """An SD-WAN data-plane topology.
+
+    Parameters
+    ----------
+    name:
+        Human-readable topology name (e.g. ``"ATT"``).
+    nodes:
+        Mapping from node id to :class:`NodeInfo` (or ``(label, GeoPoint)``
+        pairs, which are promoted).
+    edges:
+        Iterable of undirected node-id pairs.  Self-loops and duplicate
+        edges are rejected.
+    propagation_speed_m_per_s:
+        Speed used to convert link distance to delay.
+
+    The graph must be connected: the paper's recovery problem assumes every
+    offline switch is reachable and every flow has a forwarding path.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        nodes: Mapping[NodeId, NodeInfo | tuple[str, GeoPoint]],
+        edges: Iterable[Edge],
+        propagation_speed_m_per_s: float = PROPAGATION_SPEED_M_PER_S,
+    ) -> None:
+        if propagation_speed_m_per_s <= 0:
+            raise TopologyError(
+                f"propagation speed must be positive: {propagation_speed_m_per_s!r}"
+            )
+        self._name = str(name)
+        self._speed = float(propagation_speed_m_per_s)
+        self._nodes: dict[NodeId, NodeInfo] = {}
+        for node_id, info in nodes.items():
+            if not isinstance(info, NodeInfo):
+                label, geo = info
+                info = NodeInfo(node=node_id, label=label, geo=geo)
+            elif info.node != node_id:
+                raise TopologyError(
+                    f"NodeInfo id {info.node!r} disagrees with key {node_id!r}"
+                )
+            self._nodes[node_id] = info
+
+        graph = nx.Graph()
+        graph.add_nodes_from(self._nodes)
+        for u, v in edges:
+            if u == v:
+                raise TopologyError(f"self-loop on node {u!r}")
+            if u not in self._nodes or v not in self._nodes:
+                raise TopologyError(f"edge ({u!r}, {v!r}) references unknown node")
+            if graph.has_edge(u, v):
+                raise TopologyError(f"duplicate edge ({u!r}, {v!r})")
+            dist = haversine_m(self._nodes[u].geo, self._nodes[v].geo)
+            delay = dist / self._speed * MS_PER_S
+            graph.add_edge(u, v, distance_m=dist, delay_ms=delay)
+        if graph.number_of_nodes() == 0:
+            raise TopologyError("topology has no nodes")
+        if not nx.is_connected(graph):
+            parts = sorted(len(c) for c in nx.connected_components(graph))
+            raise TopologyError(
+                f"topology {self._name!r} is not connected "
+                f"(component sizes: {parts})"
+            )
+        self._graph = graph
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Topology name."""
+        return self._name
+
+    @property
+    def graph(self) -> nx.Graph:
+        """The underlying :class:`networkx.Graph` (treat as read-only)."""
+        return self._graph
+
+    @property
+    def nodes(self) -> tuple[NodeId, ...]:
+        """Node ids in sorted order."""
+        return tuple(sorted(self._graph.nodes))
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes."""
+        return self._graph.number_of_nodes()
+
+    @property
+    def n_links(self) -> int:
+        """Number of undirected links."""
+        return self._graph.number_of_edges()
+
+    @property
+    def n_directed_links(self) -> int:
+        """Number of directed links (twice the undirected count).
+
+        Topology Zoo and the paper count links directionally; the ATT
+        topology is described as "25 nodes and 112 links" = 56 undirected.
+        """
+        return 2 * self.n_links
+
+    @property
+    def propagation_speed_m_per_s(self) -> float:
+        """Fibre propagation speed used for link delays."""
+        return self._speed
+
+    def edges(self) -> tuple[Edge, ...]:
+        """All undirected edges as sorted ``(min, max)`` pairs."""
+        return tuple(sorted((min(u, v), max(u, v)) for u, v in self._graph.edges))
+
+    def info(self, node: NodeId) -> NodeInfo:
+        """Return the :class:`NodeInfo` for ``node``."""
+        try:
+            return self._nodes[node]
+        except KeyError:
+            raise TopologyError(f"unknown node {node!r}") from None
+
+    def label(self, node: NodeId) -> str:
+        """Human-readable label of ``node``."""
+        return self.info(node).label
+
+    def geo(self, node: NodeId) -> GeoPoint:
+        """Geographic position of ``node``."""
+        return self.info(node).geo
+
+    def has_edge(self, u: NodeId, v: NodeId) -> bool:
+        """Whether the undirected link ``(u, v)`` exists."""
+        return self._graph.has_edge(u, v)
+
+    def neighbors(self, node: NodeId) -> tuple[NodeId, ...]:
+        """Sorted neighbor ids of ``node``."""
+        if node not in self._graph:
+            raise TopologyError(f"unknown node {node!r}")
+        return tuple(sorted(self._graph.neighbors(node)))
+
+    def degree(self, node: NodeId) -> int:
+        """Number of links incident to ``node``."""
+        if node not in self._graph:
+            raise TopologyError(f"unknown node {node!r}")
+        return self._graph.degree[node]
+
+    # ------------------------------------------------------------------
+    # Distances and delays
+    # ------------------------------------------------------------------
+    def link_distance_m(self, u: NodeId, v: NodeId) -> float:
+        """Great-circle length of link ``(u, v)`` in metres."""
+        self._require_edge(u, v)
+        return self._graph.edges[u, v]["distance_m"]
+
+    def link_delay_ms(self, u: NodeId, v: NodeId) -> float:
+        """One-way propagation delay of link ``(u, v)`` in milliseconds."""
+        self._require_edge(u, v)
+        return self._graph.edges[u, v]["delay_ms"]
+
+    def geo_distance_m(self, u: NodeId, v: NodeId) -> float:
+        """Direct great-circle distance between two nodes (not via links)."""
+        return haversine_m(self.geo(u), self.geo(v))
+
+    def geo_delay_ms(self, u: NodeId, v: NodeId) -> float:
+        """Direct propagation delay between two nodes in milliseconds.
+
+        This is the paper's ``D_ij``: "the distance divided by the
+        propagation speed" (Section VI-A), i.e. straight-line, not routed.
+        """
+        return self.geo_distance_m(u, v) / self._speed * MS_PER_S
+
+    def geo_distance_matrix(self) -> np.ndarray:
+        """Direct distances (metres) between all node pairs, sorted order."""
+        points = [self.geo(n) for n in self.nodes]
+        return pairwise_distance_matrix(points)
+
+    def geo_delay_matrix_ms(self) -> np.ndarray:
+        """Direct propagation delays (ms) between all node pairs."""
+        return self.geo_distance_matrix() / self._speed * MS_PER_S
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _require_edge(self, u: NodeId, v: NodeId) -> None:
+        if not self._graph.has_edge(u, v):
+            raise TopologyError(f"no link between {u!r} and {v!r}")
+
+    def __contains__(self, node: object) -> bool:
+        return node in self._graph
+
+    def __len__(self) -> int:
+        return self.n_nodes
+
+    def __repr__(self) -> str:
+        return (
+            f"Topology(name={self._name!r}, nodes={self.n_nodes}, "
+            f"links={self.n_links})"
+        )

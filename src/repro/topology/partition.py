@@ -1,0 +1,132 @@
+"""Domain partitioning: assigning switches to controller sites.
+
+The paper's ATT scenario fixes the partition (Table III).  For other
+topologies, this module derives a partition from controller site choices:
+every switch joins the domain of its geographically nearest controller
+site, with an optional balancing pass that caps domain sizes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.exceptions import TopologyError
+from repro.topology.graph import Topology
+from repro.types import ControllerId, NodeId
+
+__all__ = ["nearest_site_partition", "balanced_partition", "validate_partition"]
+
+
+def validate_partition(
+    topology: Topology,
+    domains: Mapping[ControllerId, Sequence[NodeId]],
+) -> None:
+    """Check that ``domains`` is a partition of the topology's nodes.
+
+    Every node must appear in exactly one domain; every referenced node
+    must exist.  Raises :class:`TopologyError` otherwise.
+    """
+    seen: dict[NodeId, ControllerId] = {}
+    for controller, members in domains.items():
+        if not members:
+            raise TopologyError(f"controller {controller!r} has an empty domain")
+        for node in members:
+            if node not in topology:
+                raise TopologyError(
+                    f"domain of controller {controller!r} references unknown node {node!r}"
+                )
+            if node in seen:
+                raise TopologyError(
+                    f"node {node!r} appears in domains of controllers "
+                    f"{seen[node]!r} and {controller!r}"
+                )
+            seen[node] = controller
+    missing = set(topology.nodes) - set(seen)
+    if missing:
+        raise TopologyError(f"nodes not covered by any domain: {sorted(missing)}")
+
+
+def nearest_site_partition(
+    topology: Topology,
+    sites: Sequence[NodeId],
+) -> dict[ControllerId, tuple[NodeId, ...]]:
+    """Assign each switch to the nearest controller site (geodesic).
+
+    ``sites`` are node ids where controllers are co-located; the controller
+    id equals its site node id, following the paper's convention.  Ties
+    break toward the lower site id for determinism.
+    """
+    if not sites:
+        raise TopologyError("at least one controller site is required")
+    if len(set(sites)) != len(sites):
+        raise TopologyError(f"duplicate controller sites: {list(sites)}")
+    for site in sites:
+        if site not in topology:
+            raise TopologyError(f"controller site {site!r} is not a topology node")
+
+    domains: dict[ControllerId, list[NodeId]] = {site: [] for site in sites}
+    for node in topology.nodes:
+        best = min(sites, key=lambda s: (topology.geo_delay_ms(node, s), s))
+        domains[best].append(node)
+    result = {c: tuple(sorted(members)) for c, members in domains.items()}
+    for controller, members in result.items():
+        if not members:
+            raise TopologyError(
+                f"controller site {controller!r} attracted no switches; "
+                "choose better-spread sites"
+            )
+    validate_partition(topology, result)
+    return result
+
+
+def balanced_partition(
+    topology: Topology,
+    sites: Sequence[NodeId],
+    max_domain_size: int | None = None,
+) -> dict[ControllerId, tuple[NodeId, ...]]:
+    """Nearest-site partition with a cap on domain size.
+
+    Switches are processed in increasing order of distance to their best
+    site; when a domain is full, the switch falls to its next-nearest site
+    with room.  With ``max_domain_size=None`` the cap is
+    ``ceil(n_nodes / n_sites) + 1``.
+    """
+    if not sites:
+        raise TopologyError("at least one controller site is required")
+    n_sites = len(set(sites))
+    if n_sites != len(sites):
+        raise TopologyError(f"duplicate controller sites: {list(sites)}")
+    cap = max_domain_size
+    if cap is None:
+        cap = -(-topology.n_nodes // n_sites) + 1  # ceil + 1 slack
+    if cap * n_sites < topology.n_nodes:
+        raise TopologyError(
+            f"max_domain_size={cap} cannot hold {topology.n_nodes} nodes "
+            f"across {n_sites} sites"
+        )
+
+    # Order nodes by how strongly they prefer their best site, so tightly
+    # bound switches claim their slots first.
+    def preference(node: NodeId) -> float:
+        return min(topology.geo_delay_ms(node, s) for s in sites)
+
+    domains: dict[ControllerId, list[NodeId]] = {site: [] for site in sites}
+    for node in sorted(topology.nodes, key=preference):
+        ordered = sorted(sites, key=lambda s: (topology.geo_delay_ms(node, s), s))
+        placed = False
+        for site in ordered:
+            if len(domains[site]) < cap:
+                domains[site].append(node)
+                placed = True
+                break
+        if not placed:  # pragma: no cover - guarded by the cap check above
+            raise TopologyError(f"could not place node {node!r}")
+    result = {c: tuple(sorted(members)) for c, members in domains.items()}
+    for controller, members in result.items():
+        if not members:
+            raise TopologyError(
+                f"controller site {controller!r} received no switches under "
+                f"cap {cap}; loosen max_domain_size"
+            )
+    validate_partition(topology, result)
+    return result

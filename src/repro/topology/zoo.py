@@ -1,0 +1,197 @@
+"""Parser for Topology Zoo GML files.
+
+The Internet Topology Zoo (Knight et al., reference [18] of the paper)
+distributes topologies as GML files whose nodes carry ``Latitude`` /
+``Longitude`` attributes.  This module implements a small, dependency-free
+GML reader sufficient for those files and converts them into
+:class:`~repro.topology.graph.Topology` objects.
+
+Only the GML subset used by Topology Zoo is supported: nested ``key [
+... ]`` records, quoted strings, integers and floats.  Nodes lacking
+coordinates are either dropped (with their edges) or rejected, depending on
+``on_missing_geo``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.exceptions import ParseError
+from repro.geo import GeoPoint
+from repro.topology.graph import Topology
+
+__all__ = ["GmlRecord", "parse_gml", "load_zoo_topology", "loads_zoo_topology"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(?:
+        (?P<comment>\#[^\n]*)
+      | (?P<open>\[)
+      | (?P<close>\])
+      | (?P<string>"(?:[^"\\]|\\.)*")
+      | (?P<number>[-+]?\d+(?:\.\d+)?(?:[eE][-+]?\d+)?)
+      | (?P<key>[A-Za-z_][A-Za-z0-9_]*)
+    )
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass
+class GmlRecord:
+    """A nested GML record: ordered multi-map from key to values."""
+
+    items: list[tuple[str, Any]] = field(default_factory=list)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """First value stored under ``key``, or ``default``."""
+        for k, v in self.items:
+            if k == key:
+                return v
+        return default
+
+    def get_all(self, key: str) -> list[Any]:
+        """All values stored under ``key``, in order."""
+        return [v for k, v in self.items if k == key]
+
+    def __contains__(self, key: object) -> bool:
+        return any(k == key for k, _ in self.items)
+
+
+def _tokenize(text: str) -> list[tuple[str, Any]]:
+    tokens: list[tuple[str, Any]] = []
+    pos = 0
+    while pos < len(text):
+        if text[pos:].isspace():
+            break
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            remainder = text[pos : pos + 30]
+            raise ParseError(f"unexpected GML input at offset {pos}: {remainder!r}")
+        pos = match.end()
+        if match.lastgroup == "comment" or match.lastgroup is None:
+            continue
+        kind = match.lastgroup
+        raw = match.group(kind)
+        if kind == "string":
+            value: Any = raw[1:-1].replace('\\"', '"').replace("\\\\", "\\")
+            tokens.append(("value", value))
+        elif kind == "number":
+            value = float(raw) if any(c in raw for c in ".eE") else int(raw)
+            tokens.append(("value", value))
+        elif kind == "key":
+            tokens.append(("key", raw))
+        elif kind == "open":
+            tokens.append(("open", "["))
+        elif kind == "close":
+            tokens.append(("close", "]"))
+    return tokens
+
+
+def _parse_record(tokens: list[tuple[str, Any]], pos: int) -> tuple[GmlRecord, int]:
+    record = GmlRecord()
+    while pos < len(tokens):
+        kind, value = tokens[pos]
+        if kind == "close":
+            return record, pos + 1
+        if kind != "key":
+            raise ParseError(f"expected key at token {pos}, got {kind} {value!r}")
+        key = value
+        pos += 1
+        if pos >= len(tokens):
+            raise ParseError(f"dangling key {key!r} at end of input")
+        kind, value = tokens[pos]
+        if kind == "open":
+            child, pos = _parse_record(tokens, pos + 1)
+            record.items.append((key, child))
+        elif kind == "value":
+            record.items.append((key, value))
+            pos += 1
+        else:
+            raise ParseError(f"expected value or '[' after key {key!r}")
+    return record, pos
+
+
+def parse_gml(text: str) -> GmlRecord:
+    """Parse GML text into a nested :class:`GmlRecord`."""
+    tokens = _tokenize(text)
+    record, pos = _parse_record(tokens, 0)
+    if pos != len(tokens):
+        raise ParseError(f"trailing tokens after position {pos}")
+    return record
+
+
+def loads_zoo_topology(
+    text: str,
+    name: str | None = None,
+    on_missing_geo: str = "drop",
+) -> Topology:
+    """Build a :class:`Topology` from Topology Zoo GML text.
+
+    Parameters
+    ----------
+    text:
+        GML file contents.
+    name:
+        Override the topology name (defaults to the GML ``label`` /
+        ``Network`` attribute, or ``"zoo"``).
+    on_missing_geo:
+        ``"drop"`` removes nodes without coordinates together with their
+        incident edges; ``"error"`` raises :class:`ParseError`.
+    """
+    if on_missing_geo not in ("drop", "error"):
+        raise ValueError(f"on_missing_geo must be 'drop' or 'error': {on_missing_geo!r}")
+    root = parse_gml(text)
+    graph = root.get("graph")
+    if not isinstance(graph, GmlRecord):
+        raise ParseError("GML input has no 'graph [ ... ]' record")
+
+    topo_name = name or graph.get("Network") or graph.get("label") or "zoo"
+
+    nodes: dict[int, tuple[str, GeoPoint]] = {}
+    dropped: set[int] = set()
+    for node in graph.get_all("node"):
+        if not isinstance(node, GmlRecord):
+            raise ParseError("malformed 'node' record")
+        node_id = node.get("id")
+        if not isinstance(node_id, int):
+            raise ParseError(f"node id must be an integer, got {node_id!r}")
+        lat = node.get("Latitude")
+        lon = node.get("Longitude")
+        if lat is None or lon is None:
+            if on_missing_geo == "error":
+                raise ParseError(f"node {node_id} lacks Latitude/Longitude")
+            dropped.add(node_id)
+            continue
+        label = str(node.get("label", f"n{node_id}"))
+        nodes[node_id] = (label, GeoPoint(float(lat), float(lon)))
+
+    edges: set[tuple[int, int]] = set()
+    for edge in graph.get_all("edge"):
+        if not isinstance(edge, GmlRecord):
+            raise ParseError("malformed 'edge' record")
+        source, target = edge.get("source"), edge.get("target")
+        if not isinstance(source, int) or not isinstance(target, int):
+            raise ParseError(f"edge endpoints must be integers: {source!r}, {target!r}")
+        if source in dropped or target in dropped:
+            continue
+        if source == target:
+            continue  # Topology Zoo files occasionally contain self-loops.
+        if source not in nodes or target not in nodes:
+            raise ParseError(f"edge ({source}, {target}) references unknown node")
+        edges.add((min(source, target), max(source, target)))
+
+    return Topology(str(topo_name), nodes, sorted(edges))
+
+
+def load_zoo_topology(
+    path: str | Path,
+    name: str | None = None,
+    on_missing_geo: str = "drop",
+) -> Topology:
+    """Load a Topology Zoo ``.gml`` file from disk."""
+    text = Path(path).read_text(encoding="utf-8")
+    return loads_zoo_topology(text, name=name, on_missing_geo=on_missing_geo)

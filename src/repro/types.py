@@ -1,0 +1,49 @@
+"""Shared type aliases and small value objects used across the package.
+
+The SD-WAN model in the paper is indexed three ways:
+
+* **switches** ``s_i`` — data-plane nodes; we identify them by an integer
+  :data:`NodeId` (the Topology Zoo node id);
+* **controllers** ``C_j`` — control-plane entities; we identify them by a
+  :data:`ControllerId`, which by convention equals the :data:`NodeId` the
+  controller is co-located with (the paper names controllers after nodes,
+  e.g. controller 13 sits at switch 13);
+* **flows** ``f^l`` — identified by a :data:`FlowId`, the ordered
+  ``(src, dst)`` node pair, since the default workload has exactly one flow
+  per ordered pair.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+__all__ = [
+    "NodeId",
+    "ControllerId",
+    "FlowId",
+    "Edge",
+    "Path",
+    "Seconds",
+    "Milliseconds",
+    "MS_PER_S",
+    "PROPAGATION_SPEED_M_PER_S",
+    "FLOWVISOR_PROCESSING_MS",
+]
+
+NodeId = int
+ControllerId = int
+FlowId = Tuple[int, int]
+Edge = Tuple[int, int]
+Path = Tuple[int, ...]
+Seconds = float
+Milliseconds = float
+
+MS_PER_S: float = 1000.0
+
+#: Signal propagation speed in fibre used by the paper (Section VI-A),
+#: two thirds of the speed of light.
+PROPAGATION_SPEED_M_PER_S: float = 2.0e8
+
+#: Average FlowVisor middle-layer processing time per request in
+#: milliseconds (Sherwood et al., cited by the paper for the PG baseline).
+FLOWVISOR_PROCESSING_MS: float = 0.48

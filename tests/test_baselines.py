@@ -1,0 +1,127 @@
+"""Tests for the baseline algorithms and the registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import get_algorithm, list_algorithms, register_algorithm
+from repro.baselines.nearest import solve_nearest
+from repro.baselines.pg import solve_pg
+from repro.baselines.retroflow import solve_retroflow, solve_retroflow_ip
+from repro.fmssm.evaluation import evaluate_solution, verify_solution
+from repro.types import FLOWVISOR_PROCESSING_MS
+from conftest import make_tiny_instance
+
+
+class TestRegistry:
+    def test_paper_algorithms_registered(self):
+        names = list_algorithms()
+        for name in ("pm", "optimal", "retroflow", "pg", "nearest"):
+            assert name in names
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(KeyError, match="unknown algorithm"):
+            get_algorithm("does-not-exist")
+
+    def test_register_custom(self, tiny_instance):
+        from repro.fmssm.solution import RecoverySolution
+
+        register_algorithm("noop", lambda inst: RecoverySolution(algorithm="noop"))
+        solution = get_algorithm("noop")(tiny_instance)
+        assert solution.algorithm == "noop"
+
+
+class TestRetroFlow:
+    def test_whole_switch_cost(self, tiny_instance):
+        solution = solve_retroflow(tiny_instance)
+        verify_solution(tiny_instance, solution, enforce_delay=False)
+        # Each mapped switch consumes its whole gamma (2 here).
+        for switch, controller in solution.mapping.items():
+            assert solution.load_override[controller] >= tiny_instance.gamma[switch]
+
+    def test_all_pairs_at_recovered_switches_sdn(self, tiny_instance):
+        solution = solve_retroflow(tiny_instance)
+        for switch in solution.mapping:
+            for flow_id in tiny_instance.pairs_at[switch]:
+                assert (switch, flow_id) in solution.sdn_pairs
+
+    def test_unaffordable_switch_stays_legacy(self):
+        instance = make_tiny_instance(spare={100: 1, 200: 1})
+        solution = solve_retroflow(instance)
+        # gamma is 2 per switch, spare 1 per controller: nothing fits.
+        assert solution.mapping == {}
+        assert solution.sdn_pairs == set()
+
+    def test_hub_switch_unrecoverable_att(self, att_instance_13_20):
+        """The paper's case (13, 20): switch 13 cannot be mapped whole."""
+        solution = solve_retroflow(att_instance_13_20)
+        assert 13 not in solution.mapping
+        evaluation = evaluate_solution(att_instance_13_20, solution)
+        assert evaluation.least_programmability == 0
+        assert evaluation.recovery_fraction < 1.0
+
+    def test_ip_variant_at_least_as_good(self, att_instance_13_20):
+        greedy = evaluate_solution(att_instance_13_20, solve_retroflow(att_instance_13_20))
+        exact = evaluate_solution(att_instance_13_20, solve_retroflow_ip(att_instance_13_20))
+        assert exact.total_programmability >= greedy.total_programmability
+
+    def test_ip_capacity_respected(self, att_instance_13_20):
+        solution = solve_retroflow_ip(att_instance_13_20)
+        verify_solution(att_instance_13_20, solution, enforce_delay=False)
+
+
+class TestPG:
+    def test_flow_level_granularity(self, tiny_instance):
+        solution = solve_pg(tiny_instance)
+        verify_solution(tiny_instance, solution, enforce_delay=False)
+        # PG records per-pair controllers and no switch mapping.
+        assert solution.mapping == {}
+        assert set(solution.pair_controller) == solution.sdn_pairs
+
+    def test_middle_layer_overhead_charged(self, tiny_instance):
+        solution = solve_pg(tiny_instance)
+        assert solution.extra_overhead_ms == FLOWVISOR_PROCESSING_MS
+        evaluation = evaluate_solution(tiny_instance, solution)
+        assert evaluation.per_flow_overhead_ms >= FLOWVISOR_PROCESSING_MS
+
+    def test_full_budget_full_recovery(self, tiny_instance):
+        evaluation = evaluate_solution(tiny_instance, solve_pg(tiny_instance))
+        assert evaluation.recovery_fraction == 1.0
+        assert evaluation.least_programmability == 2
+        assert evaluation.total_programmability == 11
+
+    def test_scarce_budget_maximizes_recovered_flows(self):
+        instance = make_tiny_instance(spare={100: 1, 200: 1})
+        evaluation = evaluate_solution(instance, solve_pg(instance))
+        assert evaluation.recovered_flows == 2  # one pair per unit
+
+    def test_zero_budget(self):
+        instance = make_tiny_instance(spare={100: 0, 200: 0})
+        evaluation = evaluate_solution(instance, solve_pg(instance))
+        assert evaluation.recovered_flows == 0
+
+    def test_recovers_everything_att(self, att_instance_13_20):
+        evaluation = evaluate_solution(att_instance_13_20, solve_pg(att_instance_13_20))
+        assert evaluation.recovery_fraction == 1.0
+        assert evaluation.switch_recovery_fraction == 1.0
+
+    def test_capacity_respected_att(self, att_instance_5_13_20):
+        instance = att_instance_5_13_20
+        evaluation = evaluate_solution(instance, solve_pg(instance))
+        for controller, load in evaluation.controller_load.items():
+            assert load <= instance.spare[controller]
+
+
+class TestNearest:
+    def test_only_nearest_controller_considered(self, att_instance_13_20):
+        solution = solve_nearest(att_instance_13_20)
+        for switch, controller in solution.mapping.items():
+            assert controller == att_instance_13_20.nearest[switch]
+
+    def test_weaker_than_retroflow(self, att_instance_13_20):
+        nearest = evaluate_solution(att_instance_13_20, solve_nearest(att_instance_13_20))
+        retro = evaluate_solution(att_instance_13_20, solve_retroflow(att_instance_13_20))
+        assert nearest.total_programmability <= retro.total_programmability
+
+    def test_verifies(self, att_instance_13_20):
+        verify_solution(att_instance_13_20, solve_nearest(att_instance_13_20), enforce_delay=False)

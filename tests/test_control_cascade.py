@@ -1,0 +1,107 @@
+"""Tests for cascading-failure simulation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.control.cascade import simulate_cascade
+from repro.control.failures import FailureScenario
+from repro.control.plane import ControlPlane
+from repro.exceptions import ControlPlaneError
+from repro.pm.algorithm import solve_pm
+from repro.topology.generators import grid_topology
+
+
+@pytest.fixture(scope="module")
+def plane():
+    grid = grid_topology(2, 3)
+    return ControlPlane(grid, {0: (0, 1, 2), 5: (3, 4, 5)}, capacity=100)
+
+
+class TestSimulateCascade:
+    def test_safe_assignment_no_cascade(self, plane):
+        result = simulate_cascade(
+            plane, baseline_load={0: 50, 5: 50}, extra_load={0: 20, 5: 20}
+        )
+        assert not result.cascaded
+        assert result.survivors == (0, 5)
+        assert result.shed_load == 0
+
+    def test_overload_fails_controller(self, plane):
+        result = simulate_cascade(
+            plane, baseline_load={0: 50, 5: 50}, extra_load={0: 60, 5: 0}
+        )
+        assert result.cascaded
+        assert result.rounds[0] == (0,)
+        # Controller 5 absorbs re-shed units only up to its capacity
+        # (50 of the 60); the remaining 10 are shed unserved.
+        assert result.survivors == (5,)
+        assert result.shed_load == 10
+        assert result.total_failed == 1
+
+    def test_partial_reshed_survives(self, plane):
+        result = simulate_cascade(
+            plane, baseline_load={0: 90, 5: 10}, extra_load={0: 30, 5: 0}
+        )
+        assert result.rounds[0] == (0,)
+        # 30 units move to controller 5: 10 + 30 = 40 <= 100 -> stable.
+        assert result.survivors == (5,)
+        assert result.shed_load == 0
+
+    def test_shed_load_counted_when_nobody_has_room(self, plane):
+        result = simulate_cascade(
+            plane, baseline_load={0: 101, 5: 100}, extra_load={0: 5, 5: 0}
+        )
+        assert result.survivors == (5,)
+        assert result.shed_load == 5  # controller 5 is exactly full
+
+    def test_initially_failed_excluded(self, plane):
+        result = simulate_cascade(
+            plane,
+            baseline_load={0: 50, 5: 50},
+            extra_load={0: 200, 5: 0},
+            initially_failed=frozenset({0}),
+        )
+        # Controller 0 is already down; only 5 participates and is fine.
+        assert result.survivors == (5,)
+        assert not result.cascaded
+
+    def test_unknown_controller_rejected(self, plane):
+        with pytest.raises(ControlPlaneError):
+            simulate_cascade(plane, baseline_load={9: 1}, extra_load={})
+
+
+class TestPmNeverCascades:
+    def test_pm_assignment_is_cascade_safe(self, att_context):
+        """PM respects A_j^rest, so re-homing its recovery load can never
+        overload an active controller — the cascade is always empty."""
+        from repro.fmssm.evaluation import evaluate_solution
+
+        scenario = FailureScenario(frozenset({13, 20}))
+        instance = att_context.instance(scenario)
+        evaluation = evaluate_solution(instance, solve_pm(instance))
+        baseline = att_context.plane.domain_loads(att_context.flows)
+        result = simulate_cascade(
+            att_context.plane,
+            baseline_load=baseline,
+            extra_load=evaluation.controller_load,
+            initially_failed=scenario.failed,
+        )
+        assert not result.cascaded
+        assert set(result.survivors) == set(instance.controllers)
+
+    def test_naive_overassignment_cascades(self, att_context):
+        """Dumping an entire failed domain onto one controller cascades."""
+        scenario = FailureScenario(frozenset({13, 20}))
+        instance = att_context.instance(scenario)
+        baseline = att_context.plane.domain_loads(att_context.flows)
+        victim = instance.controllers[0]
+        offline_total = sum(instance.gamma.values())
+        result = simulate_cascade(
+            att_context.plane,
+            baseline_load=baseline,
+            extra_load={victim: offline_total},
+            initially_failed=scenario.failed,
+        )
+        assert result.cascaded
+        assert victim not in result.survivors

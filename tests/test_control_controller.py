@@ -1,0 +1,85 @@
+"""Tests for Controller and ControllerState."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.control.controller import Controller, ControllerState
+from repro.exceptions import CapacityError, ControlPlaneError
+
+
+def make(capacity=10, load=0, failed=False) -> ControllerState:
+    return ControllerState(Controller(1, site=1, capacity=capacity), load=load, failed=failed)
+
+
+class TestController:
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ControlPlaneError):
+            Controller(1, site=1, capacity=-1)
+
+    def test_frozen(self):
+        controller = Controller(1, site=1, capacity=5)
+        with pytest.raises(AttributeError):
+            controller.capacity = 9  # type: ignore[misc]
+
+
+class TestControllerState:
+    def test_available_is_capacity_minus_load(self):
+        state = make(capacity=10, load=3)
+        assert state.available == 7
+
+    def test_consume_and_release(self):
+        state = make(capacity=5)
+        state.consume(3)
+        assert state.load == 3
+        state.release(2)
+        assert state.load == 1
+
+    def test_consume_beyond_capacity_raises(self):
+        state = make(capacity=2)
+        with pytest.raises(CapacityError):
+            state.consume(3)
+
+    def test_release_beyond_load_raises(self):
+        state = make()
+        with pytest.raises(ControlPlaneError):
+            state.release(1)
+
+    def test_initial_load_beyond_capacity_rejected(self):
+        with pytest.raises(CapacityError):
+            make(capacity=2, load=3)
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(ControlPlaneError):
+            make(load=-1)
+
+    def test_failed_controller_has_no_availability(self):
+        state = make(capacity=10)
+        state.fail()
+        assert state.failed
+        assert state.available == 0
+
+    def test_failed_controller_cannot_consume(self):
+        state = make()
+        state.fail()
+        with pytest.raises(ControlPlaneError, match="failed"):
+            state.consume(1)
+
+    def test_recover_restores_availability(self):
+        state = make(capacity=10, load=4)
+        state.fail()
+        state.recover()
+        assert state.available == 6
+
+    def test_negative_units_rejected(self):
+        state = make()
+        with pytest.raises(ControlPlaneError):
+            state.consume(-1)
+        with pytest.raises(ControlPlaneError):
+            state.release(-1)
+
+    def test_repr_shows_status(self):
+        state = make()
+        assert "active" in repr(state)
+        state.fail()
+        assert "failed" in repr(state)

@@ -1,0 +1,82 @@
+"""Tests for delay models and the ideal recovery delay G."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.control.delay import DelayModel, ideal_recovery_delay
+from repro.exceptions import ControlPlaneError
+
+
+class TestDelayModel:
+    def test_geodesic_matches_topology(self, att):
+        model = DelayModel(att, mode="geodesic")
+        assert model.delay_ms(0, 13) == pytest.approx(att.geo_delay_ms(0, 13))
+
+    def test_self_delay_zero(self, att):
+        for mode in ("geodesic", "routed"):
+            assert DelayModel(att, mode=mode).delay_ms(5, 5) == 0.0
+
+    def test_routed_never_shorter_than_geodesic(self, att):
+        geo = DelayModel(att, mode="geodesic")
+        routed = DelayModel(att, mode="routed")
+        for switch in (0, 7, 13, 24):
+            for site in (2, 22):
+                assert routed.delay_ms(switch, site) >= geo.delay_ms(switch, site) - 1e-9
+
+    def test_unknown_mode_rejected(self, att):
+        with pytest.raises(ControlPlaneError, match="mode"):
+            DelayModel(att, mode="warp")
+
+    def test_unknown_node_rejected(self, att):
+        with pytest.raises(ControlPlaneError):
+            DelayModel(att).delay_ms(0, 99)
+
+    def test_matrix_covers_all_pairs(self, att):
+        model = DelayModel(att)
+        matrix = model.matrix((0, 1), {2: 2, 22: 22})
+        assert set(matrix) == {(0, 2), (0, 22), (1, 2), (1, 22)}
+
+    def test_nearest_controller(self, att):
+        model = DelayModel(att)
+        # Seattle (0) is nearest to San Francisco's controller (6).
+        assert model.nearest_controller(0, {2: 2, 6: 6, 22: 22}) == 6
+        # Boston (24) is nearest to New York (22).
+        assert model.nearest_controller(24, {2: 2, 6: 6, 22: 22}) == 22
+
+    def test_nearest_requires_sites(self, att):
+        with pytest.raises(ControlPlaneError):
+            DelayModel(att).nearest_controller(0, {})
+
+
+class TestIdealRecoveryDelay:
+    def test_weighted_by_gamma(self, att):
+        model = DelayModel(att)
+        sites = {2: 2, 22: 22}
+        gamma = {0: 10, 24: 5}
+        expected = 10 * model.delay_ms(0, 2) + 5 * model.delay_ms(24, 22)
+        assert ideal_recovery_delay(model, (0, 24), sites, gamma) == pytest.approx(expected)
+
+    def test_zero_gamma_contributes_nothing(self, att):
+        model = DelayModel(att)
+        assert ideal_recovery_delay(model, (0,), {22: 22}, {0: 0}) == 0.0
+
+    def test_missing_gamma_treated_as_zero(self, att):
+        model = DelayModel(att)
+        assert ideal_recovery_delay(model, (0,), {22: 22}, {}) == 0.0
+
+    def test_negative_gamma_rejected(self, att):
+        model = DelayModel(att)
+        with pytest.raises(ControlPlaneError):
+            ideal_recovery_delay(model, (0,), {22: 22}, {0: -1})
+
+    def test_nearest_site_minimizes(self, att):
+        """G uses each switch's nearest site, so it lower-bounds any
+        single-site alternative."""
+        model = DelayModel(att)
+        sites = {2: 2, 6: 6, 22: 22}
+        gamma = {n: 1 for n in att.nodes}
+        g = ideal_recovery_delay(model, att.nodes, sites, gamma)
+        for only in sites.values():
+            single = sum(model.delay_ms(n, only) for n in att.nodes)
+            assert g <= single + 1e-9

@@ -1,0 +1,100 @@
+"""Tests for the ControlPlane."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.control.plane import ControlPlane
+from repro.exceptions import CapacityError, ControlPlaneError
+from repro.flows.demands import all_pairs_flows
+from repro.topology.att import ATT_DOMAINS
+from repro.topology.generators import grid_topology
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return grid_topology(2, 3)  # nodes 0..5
+
+
+@pytest.fixture(scope="module")
+def grid_plane(grid):
+    return ControlPlane(grid, {0: (0, 1, 2), 5: (3, 4, 5)}, capacity=100)
+
+
+class TestStructure:
+    def test_controller_ids_sorted(self, grid_plane):
+        assert grid_plane.controller_ids == (0, 5)
+
+    def test_domain_lookup(self, grid_plane):
+        assert grid_plane.domain(0) == (0, 1, 2)
+
+    def test_controller_of(self, grid_plane):
+        assert grid_plane.controller_of(4) == 5
+
+    def test_unknown_lookups(self, grid_plane):
+        with pytest.raises(ControlPlaneError):
+            grid_plane.domain(9)
+        with pytest.raises(ControlPlaneError):
+            grid_plane.controller_of(99)
+        with pytest.raises(ControlPlaneError):
+            grid_plane.controller(9)
+
+    def test_site_defaults_to_controller_id(self, grid_plane):
+        assert grid_plane.controller(0).site == 0
+
+    def test_explicit_sites(self, grid):
+        plane = ControlPlane(
+            grid, {0: (0, 1, 2), 5: (3, 4, 5)}, capacity=10, sites={0: 2, 5: 3}
+        )
+        assert plane.controller(0).site == 2
+
+    def test_site_must_be_node(self, grid):
+        with pytest.raises(ControlPlaneError, match="site"):
+            ControlPlane(grid, {0: (0, 1, 2), 5: (3, 4, 5)}, capacity=10, sites={0: 99})
+
+    def test_per_controller_capacity(self, grid):
+        plane = ControlPlane(grid, {0: (0, 1, 2), 5: (3, 4, 5)}, capacity={0: 7, 5: 9})
+        assert plane.controller(0).capacity == 7
+        assert plane.controller(5).capacity == 9
+
+    def test_missing_capacity_rejected(self, grid):
+        with pytest.raises(ControlPlaneError, match="capacity"):
+            ControlPlane(grid, {0: (0, 1, 2), 5: (3, 4, 5)}, capacity={0: 7})
+
+    def test_invalid_partition_rejected(self, grid):
+        with pytest.raises(Exception):
+            ControlPlane(grid, {0: (0, 1)}, capacity=10)
+
+
+class TestLoads:
+    def test_domain_loads_sum_to_total_incidences(self, grid, grid_plane):
+        flows = all_pairs_flows(grid, weight="hops")
+        loads = grid_plane.domain_loads(flows)
+        assert sum(loads.values()) == sum(len(f.path) for f in flows)
+
+    def test_spare_capacity(self, grid, grid_plane):
+        flows = all_pairs_flows(grid, weight="hops")
+        loads = grid_plane.domain_loads(flows)
+        spare = grid_plane.spare_capacity(flows)
+        for controller in grid_plane.controller_ids:
+            assert spare[controller] == 100 - loads[controller]
+
+    def test_overload_strict_raises(self, grid):
+        plane = ControlPlane(grid, {0: (0, 1, 2), 5: (3, 4, 5)}, capacity=5)
+        flows = all_pairs_flows(grid, weight="hops")
+        with pytest.raises(CapacityError, match="mis-provisioned"):
+            plane.spare_capacity(flows)
+
+    def test_overload_clamped_when_not_strict(self, grid):
+        plane = ControlPlane(grid, {0: (0, 1, 2), 5: (3, 4, 5)}, capacity=5)
+        flows = all_pairs_flows(grid, weight="hops")
+        spare = plane.spare_capacity(flows, strict=False)
+        assert all(v == 0 for v in spare.values())
+
+    def test_att_paper_configuration(self, att):
+        flows = all_pairs_flows(att, weight="hops")
+        plane = ControlPlane(att, ATT_DOMAINS, capacity=500)
+        spare = plane.spare_capacity(flows)
+        # Paper total spare: 945; ours is within a few percent.
+        assert sum(spare.values()) == pytest.approx(945, rel=0.05)
+        assert all(v > 0 for v in spare.values())

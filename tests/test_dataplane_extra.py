@@ -1,0 +1,82 @@
+"""Extra data-plane coverage: install_path validation and recovery edges."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataplane.forwarding import NetworkDataPlane
+from repro.dataplane.packet import Packet
+from repro.dataplane.switch import SwitchMode
+from repro.exceptions import DataPlaneError
+from repro.flows.flow import Flow
+from repro.topology.generators import grid_topology
+
+
+@pytest.fixture
+def plane():
+    return NetworkDataPlane(grid_topology(3, 3), legacy_weight="hops")
+
+
+class TestInstallPath:
+    def test_installs_entries_along_path(self, plane):
+        plane.install_path((0, 8), (0, 3, 4, 5, 8))
+        assert plane.forward(Packet(0, 8)) == (0, 3, 4, 5, 8)
+
+    def test_short_path_rejected(self, plane):
+        with pytest.raises(DataPlaneError, match="at least 2"):
+            plane.install_path((0, 8), (0,))
+
+    def test_wrong_destination_rejected(self, plane):
+        with pytest.raises(DataPlaneError, match="destination"):
+            plane.install_path((0, 8), (0, 1, 2))
+
+    def test_missing_link_rejected_atomically(self, plane):
+        with pytest.raises(DataPlaneError, match="missing link"):
+            plane.install_path((0, 8), (0, 8))
+        # Nothing was installed: the flow still follows legacy routing.
+        path = plane.forward(Packet(0, 8))
+        assert len(path) == 5
+
+    def test_partial_path_change(self, plane):
+        flow = Flow(0, 8, (0, 1, 2, 5, 8))
+        plane.install_flow_path(flow)
+        # Change only the tail from node 2.
+        plane.install_path((0, 8), (2, 5, 8))
+        assert plane.forward(Packet(0, 8)) == (0, 1, 2, 5, 8)
+
+
+class TestApplyRecoveryEdges:
+    def test_missing_flow_object_rejected(self, att_context, att_instance_13_20):
+        from repro.fmssm.solution import RecoverySolution
+
+        plane = NetworkDataPlane(att_context.topology, legacy_weight="hops")
+        ghost = RecoverySolution(
+            algorithm="ghost",
+            mapping={13: 2},
+            sdn_pairs={(13, (99, 98))},  # not an instance flow
+        )
+        with pytest.raises(DataPlaneError, match="no flow object"):
+            plane.apply_recovery(att_instance_13_20, ghost)
+
+    def test_extra_flows_parameter(self, att_context, att_instance_13_20):
+        from repro.fmssm.solution import RecoverySolution
+
+        plane = NetworkDataPlane(att_context.topology, legacy_weight="hops")
+        # A pair for a flow that the instance doesn't carry, supplied via
+        # the flows parameter.
+        extra = Flow(13, 2, tuple(next(
+            f.path for f in att_context.flows if f.flow_id == (13, 2)
+        )))
+        solution = RecoverySolution(
+            algorithm="x",
+            mapping={13: 2},
+            sdn_pairs=set(),
+        )
+        plane.apply_recovery(att_instance_13_20, solution, flows=[extra])
+        # Offline switches are now hybrid.
+        assert plane.switch(13).mode is SwitchMode.HYBRID
+
+    def test_forward_from_explicit_start(self, plane):
+        packet = Packet(0, 8)
+        path = plane.forward(packet, start=4)
+        assert path[0] == 4 and path[-1] == 8

@@ -1,0 +1,94 @@
+"""Tests for the per-switch pipeline (Fig. 2 modes)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataplane.packet import Packet
+from repro.dataplane.switch import SwitchDataPlane, SwitchMode
+from repro.dataplane.tables import FlowEntry
+from repro.exceptions import DataPlaneError, TableMissError
+from repro.routing.ospf import LegacyRoutingTable
+
+
+@pytest.fixture
+def legacy():
+    return LegacyRoutingTable(switch=1, next_hops={5: 2, 7: 3})
+
+
+class TestModes:
+    def test_sdn_mode_uses_flow_table(self, legacy):
+        switch = SwitchDataPlane(1, SwitchMode.SDN, legacy)
+        switch.install_flow(FlowEntry(flow_id=(0, 5), next_hop=4))
+        assert switch.next_hop(Packet(0, 5)) == 4
+
+    def test_sdn_mode_miss_raises(self, legacy):
+        switch = SwitchDataPlane(1, SwitchMode.SDN, legacy)
+        with pytest.raises(TableMissError):
+            switch.next_hop(Packet(0, 5))
+
+    def test_legacy_mode_ignores_flow_table(self, legacy):
+        switch = SwitchDataPlane(1, SwitchMode.LEGACY, legacy)
+        switch.install_flow(FlowEntry(flow_id=(0, 5), next_hop=4))
+        assert switch.next_hop(Packet(0, 5)) == 2  # legacy route wins
+
+    def test_hybrid_prefers_flow_table(self, legacy):
+        switch = SwitchDataPlane(1, SwitchMode.HYBRID, legacy)
+        switch.install_flow(FlowEntry(flow_id=(0, 5), next_hop=4))
+        assert switch.next_hop(Packet(0, 5)) == 4
+
+    def test_hybrid_falls_through_to_legacy(self, legacy):
+        """The paper's table-miss entry: unmatched packets use OSPF."""
+        switch = SwitchDataPlane(1, SwitchMode.HYBRID, legacy)
+        assert switch.next_hop(Packet(0, 5)) == 2
+        assert switch.next_hop(Packet(9, 7)) == 3
+
+    def test_sdn_only_switch_without_legacy_table(self):
+        switch = SwitchDataPlane(1, SwitchMode.SDN)
+        switch.install_flow(FlowEntry(flow_id=(0, 5), next_hop=4))
+        assert switch.next_hop(Packet(0, 5)) == 4
+
+
+class TestConfiguration:
+    def test_legacy_mode_requires_table(self):
+        with pytest.raises(DataPlaneError, match="legacy table"):
+            SwitchDataPlane(1, SwitchMode.LEGACY)
+        with pytest.raises(DataPlaneError, match="legacy table"):
+            SwitchDataPlane(1, SwitchMode.HYBRID)
+
+    def test_wrong_switch_table_rejected(self, legacy):
+        with pytest.raises(DataPlaneError, match="switch"):
+            SwitchDataPlane(2, SwitchMode.HYBRID, legacy)
+
+    def test_set_mode(self, legacy):
+        switch = SwitchDataPlane(1, SwitchMode.HYBRID, legacy)
+        switch.set_mode(SwitchMode.SDN)
+        assert switch.mode is SwitchMode.SDN
+
+    def test_set_mode_needs_legacy_table(self):
+        switch = SwitchDataPlane(1, SwitchMode.SDN)
+        with pytest.raises(DataPlaneError):
+            switch.set_mode(SwitchMode.HYBRID)
+
+
+class TestPacket:
+    def test_packet_flow_id(self):
+        assert Packet(3, 7).flow_id == (3, 7)
+
+    def test_same_endpoints_rejected(self):
+        with pytest.raises(DataPlaneError):
+            Packet(3, 3)
+
+    def test_trace_and_delivery(self):
+        packet = Packet(0, 2)
+        assert not packet.delivered
+        packet.visit(0)
+        packet.visit(1)
+        packet.visit(2)
+        assert packet.delivered
+        assert packet.current == 2
+        assert packet.trace == [0, 1, 2]
+
+    def test_current_before_entry_raises(self):
+        with pytest.raises(DataPlaneError):
+            Packet(0, 2).current

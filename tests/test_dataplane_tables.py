@@ -1,0 +1,70 @@
+"""Tests for flow tables and entries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataplane.tables import FlowEntry, FlowTable
+from repro.exceptions import DataPlaneError
+
+
+class TestFlowEntry:
+    def test_defaults(self):
+        entry = FlowEntry(flow_id=(0, 5), next_hop=2)
+        assert entry.priority == 10
+
+    def test_zero_priority_reserved_for_table_miss(self):
+        with pytest.raises(DataPlaneError, match="priority"):
+            FlowEntry(flow_id=(0, 5), next_hop=2, priority=0)
+
+    def test_frozen(self):
+        entry = FlowEntry(flow_id=(0, 5), next_hop=2)
+        with pytest.raises(AttributeError):
+            entry.next_hop = 3  # type: ignore[misc]
+
+
+class TestFlowTable:
+    def test_install_and_lookup(self):
+        table = FlowTable(switch=1)
+        table.install(FlowEntry(flow_id=(0, 5), next_hop=2))
+        entry = table.lookup((0, 5))
+        assert entry is not None and entry.next_hop == 2
+
+    def test_miss_returns_none(self):
+        table = FlowTable(switch=1)
+        assert table.lookup((9, 9)) is None
+
+    def test_replace_same_priority_allowed(self):
+        table = FlowTable(switch=1)
+        table.install(FlowEntry(flow_id=(0, 5), next_hop=2))
+        table.install(FlowEntry(flow_id=(0, 5), next_hop=3))
+        assert table.lookup((0, 5)).next_hop == 3
+
+    def test_higher_priority_wins(self):
+        table = FlowTable(switch=1)
+        table.install(FlowEntry(flow_id=(0, 5), next_hop=2, priority=20))
+        with pytest.raises(DataPlaneError, match="higher-priority"):
+            table.install(FlowEntry(flow_id=(0, 5), next_hop=3, priority=10))
+
+    def test_remove(self):
+        table = FlowTable(switch=1)
+        table.install(FlowEntry(flow_id=(0, 5), next_hop=2))
+        table.remove((0, 5))
+        assert table.lookup((0, 5)) is None
+
+    def test_remove_missing_raises(self):
+        table = FlowTable(switch=1)
+        with pytest.raises(DataPlaneError, match="no entry"):
+            table.remove((0, 5))
+
+    def test_entries_sorted(self):
+        table = FlowTable(switch=1)
+        table.install(FlowEntry(flow_id=(3, 4), next_hop=2))
+        table.install(FlowEntry(flow_id=(0, 5), next_hop=2))
+        assert [e.flow_id for e in table.entries()] == [(0, 5), (3, 4)]
+
+    def test_len(self):
+        table = FlowTable(switch=1)
+        assert len(table) == 0
+        table.install(FlowEntry(flow_id=(0, 5), next_hop=2))
+        assert len(table) == 1

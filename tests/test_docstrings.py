@@ -1,0 +1,50 @@
+"""Quality gate: every public module, class and function is documented."""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = sorted(
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    if not name.split(".")[-1].startswith("_")
+)
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_documented(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} lacks a module docstring"
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_public_members_documented(module_name):
+    module = importlib.import_module(module_name)
+    public = getattr(module, "__all__", None)
+    if public is None:
+        return
+    undocumented = []
+    for name in public:
+        member = getattr(module, name)
+        if inspect.isclass(member) or inspect.isfunction(member):
+            if member.__module__ != module_name:
+                continue  # re-export; documented at its home module
+            if not inspect.getdoc(member):
+                undocumented.append(name)
+            if inspect.isclass(member):
+                for method_name, method in inspect.getmembers(
+                    member, inspect.isfunction
+                ):
+                    if method_name.startswith("_"):
+                        continue
+                    if method.__qualname__.split(".")[0] != member.__name__:
+                        continue  # inherited
+                    if not inspect.getdoc(method):
+                        undocumented.append(f"{name}.{method_name}")
+    assert not undocumented, f"{module_name}: undocumented public members {undocumented}"

@@ -1,0 +1,136 @@
+"""Tests for the experiment harness: scenarios, runner, figures, tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.control.failures import FailureScenario
+from repro.experiments.figures import failure_figure_data, headline_ratios
+from repro.experiments.report import render_figure, render_table, render_table3
+from repro.experiments.runner import PAPER_ALGORITHMS, run_failure_sweep, run_scenario
+from repro.experiments.scenarios import custom_context, default_att_context
+from repro.experiments.tables import PAPER_TABLE3_FLOWS, table3_data
+from repro.topology.generators import grid_topology
+
+FAST_ALGORITHMS = ("retroflow", "pg", "pm")
+
+
+class TestContexts:
+    def test_default_att_context(self, att_context):
+        assert att_context.topology.n_nodes == 25
+        assert len(att_context.flows) == 600
+        assert att_context.plane.n_controllers == 6
+
+    def test_capacity_override(self):
+        context = default_att_context(capacity=600)
+        assert context.plane.controller(2).capacity == 600
+
+    def test_counter_strategy_override(self):
+        from repro.routing.path_count import ShortestDagCounter
+
+        context = default_att_context(counter_strategy="dag", weight="hops")
+        assert isinstance(context.programmability.counter, ShortestDagCounter)
+
+    def test_custom_context_auto_partition(self):
+        topology = grid_topology(3, 4)
+        context = custom_context(topology, controller_sites=(0, 11), capacity=200)
+        domains = [context.plane.domain(c) for c in context.plane.controller_ids]
+        assert sum(len(d) for d in domains) == 12
+
+
+class TestRunner:
+    def test_run_scenario_produces_all_algorithms(self, att_context):
+        result = run_scenario(
+            att_context, FailureScenario(frozenset({13})), FAST_ALGORITHMS
+        )
+        assert set(result.evaluations) == set(FAST_ALGORITHMS)
+        assert result.name == "(13)"
+
+    def test_relative_programmability_reference_is_one(self, att_context):
+        result = run_scenario(
+            att_context, FailureScenario(frozenset({13})), FAST_ALGORITHMS
+        )
+        relative = result.relative_total_programmability("retroflow")
+        assert relative["retroflow"] == pytest.approx(1.0)
+        assert relative["pm"] >= 1.0
+
+    def test_sweep_counts(self, att_context):
+        results = run_failure_sweep(att_context, 1, FAST_ALGORITHMS)
+        assert len(results) == 6
+        assert len({r.name for r in results}) == 6
+
+
+class TestFigures:
+    @pytest.fixture(scope="class")
+    def fig1_data(self, att_context):
+        return failure_figure_data(att_context, 1, FAST_ALGORITHMS)
+
+    def test_case_count(self, fig1_data):
+        assert len(fig1_data["cases"]) == 6
+
+    def test_metrics_present(self, fig1_data):
+        record = fig1_data["cases"][0]["algorithms"]["pm"]
+        for key in (
+            "programmability_summary",
+            "total_programmability",
+            "recovered_flows_pct",
+            "per_flow_overhead_ms",
+        ):
+            assert key in record
+
+    def test_single_failure_parity(self, fig1_data):
+        """Fig. 4: under one failure all algorithms recover everything."""
+        for case in fig1_data["cases"]:
+            for name in FAST_ALGORITHMS:
+                assert case["algorithms"][name]["recovered_flows_pct"] == pytest.approx(100.0)
+
+    def test_headline_ratios(self, fig1_data):
+        ratios = headline_ratios(fig1_data)
+        assert ratios["max_pct"] >= ratios["min_pct"] >= 100.0 - 1e-6
+        assert ratios["argmax_case"] in {c["case"] for c in fig1_data["cases"]}
+
+    def test_render_figure_contains_sections(self, fig1_data):
+        text = render_figure(fig1_data)
+        for marker in ("(a)", "(b)", "(c)", "(d)", "(e)", "(f)"):
+            assert marker in text
+
+
+class TestTable3:
+    def test_rows_cover_all_switches(self, att_context):
+        data = table3_data(att_context)
+        assert len(data["rows"]) == 25
+        assert {r["switch"] for r in data["rows"]} == set(range(25))
+
+    def test_totals_close_to_paper(self, att_context):
+        data = table3_data(att_context)
+        assert data["paper_total"] == 2055
+        assert abs(data["measured_total"] - data["paper_total"]) / 2055 < 0.05
+
+    def test_spare_capacity_positive(self, att_context):
+        data = table3_data(att_context)
+        assert all(v > 0 for v in data["spare_capacity"].values())
+
+    def test_paper_reference_complete(self):
+        assert len(PAPER_TABLE3_FLOWS) == 25
+        assert sum(PAPER_TABLE3_FLOWS.values()) == 2055
+
+    def test_render(self, att_context):
+        text = render_table3(table3_data(att_context))
+        assert "Dallas" in text
+        assert "2055" in text
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(("a", "bb"), [(1, 2), (30, 40)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError, match="cells"):
+            render_table(("a", "b"), [(1,)])
+
+    def test_float_formatting(self):
+        text = render_table(("x",), [(1.23456,)])
+        assert "1.23" in text

@@ -1,0 +1,77 @@
+"""Unit tests for the cheaper ablation functions (the expensive lambda
+sweep runs in benchmarks only)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablation import (
+    capacity_sweep,
+    counter_strategy_comparison,
+    delay_constraint_ablation,
+    phase2_ablation,
+)
+
+
+class TestPhase2Ablation:
+    @pytest.fixture(scope="class")
+    def rows(self, att_context):
+        return phase2_ablation(att_context)
+
+    def test_three_variants(self, rows):
+        assert {r["variant"] for r in rows} == {
+            "pm (paper order)",
+            "pm (greedy order)",
+            "pm (no phase 2)",
+        }
+
+    def test_phase2_only_affects_total(self, rows):
+        by_variant = {r["variant"]: r for r in rows}
+        assert (
+            by_variant["pm (no phase 2)"]["least"]
+            == by_variant["pm (paper order)"]["least"]
+        )
+        assert (
+            by_variant["pm (no phase 2)"]["total"]
+            < by_variant["pm (paper order)"]["total"]
+        )
+
+    def test_no_phase2_uses_less_resource(self, rows):
+        by_variant = {r["variant"]: r for r in rows}
+        assert (
+            by_variant["pm (no phase 2)"]["resource_used"]
+            <= by_variant["pm (paper order)"]["resource_used"]
+        )
+
+
+class TestDelayAblation:
+    def test_strict_within_budget(self, att_context):
+        rows = delay_constraint_ablation(att_context)
+        by_variant = {r["variant"]: r for r in rows}
+        strict = by_variant["pm-strict"]
+        assert strict["total_delay_ms"] <= strict["ideal_delay_ms"] + 1e-6
+        assert by_variant["pm"]["total"] >= strict["total"]
+
+
+class TestCapacitySweep:
+    def test_monotone_recovery(self):
+        rows = capacity_sweep(capacities=(450, 550), algorithms=("pm",))
+        fractions = [r["recovered_pct"] for r in rows]
+        assert fractions[0] <= fractions[1]
+
+    def test_all_algorithms_reported(self):
+        rows = capacity_sweep(capacities=(500,), algorithms=("pm", "retroflow"))
+        assert {r["algorithm"] for r in rows} == {"pm", "retroflow"}
+
+
+class TestCounterComparison:
+    def test_orders_preserved_across_strategies(self):
+        rows = counter_strategy_comparison(
+            strategies=("lfa", "dag"), algorithms=("pm", "retroflow")
+        )
+        by_key = {(r["strategy"], r["algorithm"]): r for r in rows}
+        for strategy in ("lfa", "dag"):
+            assert (
+                by_key[(strategy, "pm")]["total"]
+                > by_key[(strategy, "retroflow")]["total"]
+            )

@@ -1,0 +1,77 @@
+"""Extra coverage for report rendering and figure helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import headline_ratios
+from repro.experiments.report import render_fig7
+from repro.experiments.runner import ScenarioResult
+from repro.control.failures import FailureScenario
+from repro.fmssm.evaluation import RecoveryEvaluation
+
+
+def make_evaluation(name: str, total: int, feasible: bool = True) -> RecoveryEvaluation:
+    return RecoveryEvaluation(
+        algorithm=name, feasible=feasible, total_programmability=total
+    )
+
+
+class TestRelativeProgrammability:
+    def test_zero_reference_yields_inf(self):
+        result = ScenarioResult(scenario=FailureScenario(frozenset({1})))
+        result.evaluations["retroflow"] = make_evaluation("retroflow", 0)
+        result.evaluations["pm"] = make_evaluation("pm", 10)
+        relative = result.relative_total_programmability("retroflow")
+        assert relative["pm"] == float("inf")
+        assert relative["retroflow"] == 1.0
+
+    def test_normal_reference(self):
+        result = ScenarioResult(scenario=FailureScenario(frozenset({1})))
+        result.evaluations["retroflow"] = make_evaluation("retroflow", 5)
+        result.evaluations["pm"] = make_evaluation("pm", 10)
+        assert result.relative_total_programmability()["pm"] == 2.0
+
+
+class TestHeadlineRatios:
+    def test_empty_cases(self):
+        data = {"cases": []}
+        ratios = headline_ratios(data)
+        assert ratios["max_pct"] is None
+        assert ratios["argmax_case"] is None
+
+    def test_inf_ratios_excluded(self):
+        data = {
+            "cases": [
+                {"case": "(1)", "algorithms": {"pm": {"total_vs_retroflow": float("inf")}}},
+                {"case": "(2)", "algorithms": {"pm": {"total_vs_retroflow": 1.5}}},
+            ]
+        }
+        ratios = headline_ratios(data)
+        assert ratios["max_pct"] == pytest.approx(150.0)
+        assert ratios["argmax_case"] == "(2)"
+
+
+class TestRenderFig7:
+    def test_renders_na_for_missing_optimal(self):
+        data = {
+            "scenarios": {
+                1: [
+                    {"case": "(1)", "pm_time_s": 0.001, "optimal_time_s": 1.0, "pct": 0.1},
+                    {"case": "(2)", "pm_time_s": 0.001, "optimal_time_s": None, "pct": None},
+                ]
+            },
+            "mean_pct": {1: 0.1},
+        }
+        text = render_fig7(data)
+        assert "n/a" in text
+        assert "0.10%" in text
+        assert "mean PM/Optimal: 0.10%" in text
+
+    def test_renders_missing_mean(self):
+        data = {
+            "scenarios": {2: []},
+            "mean_pct": {2: None},
+        }
+        text = render_fig7(data)
+        assert "mean PM/Optimal: n/a" in text

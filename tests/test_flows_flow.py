@@ -1,0 +1,76 @@
+"""Tests for the Flow value object."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import FlowError
+from repro.flows.flow import Flow
+
+
+class TestConstruction:
+    def test_valid_flow(self):
+        flow = Flow(0, 3, (0, 1, 2, 3))
+        assert flow.flow_id == (0, 3)
+        assert flow.hop_count == 3
+        assert flow.demand == 1.0
+
+    def test_path_coerced_to_tuple(self):
+        flow = Flow(0, 2, [0, 1, 2])
+        assert isinstance(flow.path, tuple)
+
+    def test_same_endpoints_rejected(self):
+        with pytest.raises(FlowError, match="differ"):
+            Flow(1, 1, (1, 1))
+
+    def test_short_path_rejected(self):
+        with pytest.raises(FlowError, match="at least 2"):
+            Flow(0, 1, (0,))
+
+    def test_path_endpoint_mismatch_rejected(self):
+        with pytest.raises(FlowError, match="does not run"):
+            Flow(0, 3, (0, 1, 2))
+        with pytest.raises(FlowError, match="does not run"):
+            Flow(1, 3, (0, 1, 3))
+
+    def test_loop_in_path_rejected(self):
+        with pytest.raises(FlowError, match="revisits"):
+            Flow(0, 3, (0, 1, 0, 3))
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(FlowError, match="demand"):
+            Flow(0, 1, (0, 1), demand=-2.0)
+
+    def test_demand_not_in_equality(self):
+        assert Flow(0, 1, (0, 1), demand=1.0) == Flow(0, 1, (0, 1), demand=9.0)
+
+
+class TestNavigation:
+    flow = Flow(0, 3, (0, 1, 2, 3))
+
+    def test_transit_switches_exclude_destination(self):
+        assert self.flow.transit_switches == (0, 1, 2)
+
+    def test_traverses(self):
+        assert self.flow.traverses(2)
+        assert not self.flow.traverses(9)
+
+    def test_next_hop(self):
+        assert self.flow.next_hop(0) == 1
+        assert self.flow.next_hop(2) == 3
+
+    def test_next_hop_at_destination_rejected(self):
+        with pytest.raises(FlowError, match="destination"):
+            self.flow.next_hop(3)
+
+    def test_next_hop_off_path_rejected(self):
+        with pytest.raises(FlowError, match="does not traverse"):
+            self.flow.next_hop(9)
+
+    def test_str_shows_path(self):
+        assert "0->1->2->3" in str(self.flow)
+
+    def test_two_node_flow(self):
+        flow = Flow(5, 6, (5, 6))
+        assert flow.transit_switches == (5,)
+        assert flow.hop_count == 1

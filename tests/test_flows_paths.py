@@ -1,0 +1,92 @@
+"""Tests for flow/path utilities (including the gamma counts)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import FlowError, TopologyError
+from repro.flows.flow import Flow
+from repro.flows.paths import (
+    flows_by_id,
+    flows_through,
+    path_delay_ms,
+    switch_flow_counts,
+    validate_path,
+)
+from repro.topology.generators import grid_topology
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return grid_topology(3, 3)
+
+
+class TestValidatePath:
+    def test_valid_path(self, grid):
+        validate_path(grid, (0, 1, 2, 5))
+
+    def test_missing_link_rejected(self, grid):
+        with pytest.raises(TopologyError, match="missing link"):
+            validate_path(grid, (0, 8))
+
+    def test_repeated_node_rejected(self, grid):
+        with pytest.raises(FlowError, match="revisits"):
+            validate_path(grid, (0, 1, 0))
+
+    def test_unknown_node_rejected(self, grid):
+        with pytest.raises(TopologyError, match="unknown node"):
+            validate_path(grid, (0, 99))
+
+    def test_single_node_rejected(self, grid):
+        with pytest.raises(FlowError):
+            validate_path(grid, (0,))
+
+
+class TestPathDelay:
+    def test_sum_of_link_delays(self, grid):
+        path = (0, 1, 2)
+        expected = grid.link_delay_ms(0, 1) + grid.link_delay_ms(1, 2)
+        assert path_delay_ms(grid, path) == pytest.approx(expected)
+
+    def test_longer_paths_cost_more(self, grid):
+        assert path_delay_ms(grid, (0, 1, 2)) > path_delay_ms(grid, (0, 1))
+
+
+class TestFlowIndexes:
+    flows = [
+        Flow(0, 2, (0, 1, 2)),
+        Flow(2, 0, (2, 1, 0)),
+        Flow(0, 1, (0, 1)),
+    ]
+
+    def test_flows_by_id(self):
+        index = flows_by_id(self.flows)
+        assert index[(0, 2)].path == (0, 1, 2)
+        assert len(index) == 3
+
+    def test_flows_by_id_duplicate_rejected(self):
+        with pytest.raises(FlowError, match="duplicate"):
+            flows_by_id(self.flows + [Flow(0, 2, (0, 1, 2))])
+
+    def test_flows_through_includes_destination_by_default(self):
+        through_1 = flows_through(self.flows, 1)
+        assert {f.flow_id for f in through_1} == {(0, 2), (2, 0), (0, 1)}
+
+    def test_flows_through_transit_only(self):
+        through_1 = flows_through(self.flows, 1, include_destination=False)
+        assert {f.flow_id for f in through_1} == {(0, 2), (2, 0)}
+
+    def test_switch_flow_counts_destination_included(self):
+        gamma = switch_flow_counts(self.flows)
+        assert gamma[1] == 3
+        assert gamma[0] == 3  # src of two, dst of one
+        assert gamma[2] == 2
+
+    def test_switch_flow_counts_transit_only(self):
+        gamma = switch_flow_counts(self.flows, include_destination=False)
+        assert gamma[1] == 2
+        assert gamma[2] == 1
+
+    def test_counts_sum_to_path_lengths(self):
+        gamma = switch_flow_counts(self.flows)
+        assert sum(gamma.values()) == sum(len(f.path) for f in self.flows)

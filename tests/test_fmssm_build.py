@@ -1,0 +1,94 @@
+"""Tests for building FMSSM instances from networks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.control.failures import FailureScenario
+from repro.fmssm.build import build_instance, default_lambda
+
+
+class TestDefaultLambda:
+    def test_below_priority_bound(self):
+        # lambda * max_obj2 must stay below 1 so r keeps priority.
+        assert default_lambda(1000) * 1000 < 1.0
+
+    def test_zero_total_safe(self):
+        assert default_lambda(0) > 0
+
+
+class TestBuildInstance:
+    def test_offline_flows_touch_offline_switches(self, att_context):
+        scenario = FailureScenario(frozenset({13}))
+        instance = att_context.instance(scenario)
+        offline = set(instance.switches)
+        for flow in instance.flows.values():
+            assert offline & set(flow.path)
+
+    def test_online_flows_excluded(self, att_context):
+        scenario = FailureScenario(frozenset({13}))
+        instance = att_context.instance(scenario)
+        offline = set(instance.switches)
+        included = set(instance.flows)
+        for flow in att_context.flows:
+            if not (offline & set(flow.path)):
+                assert flow.flow_id not in included
+
+    def test_spare_matches_plane(self, att_context):
+        scenario = FailureScenario(frozenset({13, 20}))
+        instance = att_context.instance(scenario)
+        spare = att_context.plane.spare_capacity(att_context.flows)
+        for controller in instance.controllers:
+            assert instance.spare[controller] == spare[controller]
+
+    def test_gamma_matches_table_counts(self, att_context):
+        from repro.flows.paths import switch_flow_counts
+
+        scenario = FailureScenario(frozenset({13, 20}))
+        instance = att_context.instance(scenario)
+        gamma = switch_flow_counts(att_context.flows)
+        for switch in instance.switches:
+            assert instance.gamma[switch] == gamma[switch]
+
+    def test_pbar_only_on_offline_transit_switches(self, att_context):
+        scenario = FailureScenario(frozenset({13, 20}))
+        instance = att_context.instance(scenario)
+        for (switch, flow_id), value in instance.pbar.items():
+            flow = instance.flows[flow_id]
+            assert switch in flow.transit_switches
+            assert value >= 2
+
+    def test_nearest_is_min_delay(self, att_context):
+        scenario = FailureScenario(frozenset({13, 20}))
+        instance = att_context.instance(scenario)
+        for switch in instance.switches:
+            nearest = instance.nearest[switch]
+            best = min(instance.delay[(switch, c)] for c in instance.controllers)
+            assert instance.delay[(switch, nearest)] == pytest.approx(best)
+
+    def test_ideal_delay_positive(self, att_context):
+        scenario = FailureScenario(frozenset({13, 20}))
+        instance = att_context.instance(scenario)
+        assert instance.ideal_delay_ms > 0
+
+    def test_default_lambda_applied(self, att_context):
+        scenario = FailureScenario(frozenset({13}))
+        instance = att_context.instance(scenario)
+        assert 0 < instance.lam * instance.total_max_programmability() < 1
+
+    def test_explicit_lambda(self, att_context):
+        scenario = FailureScenario(frozenset({13}))
+        instance = build_instance(
+            att_context.plane,
+            att_context.flows,
+            att_context.programmability,
+            scenario,
+            lam=0.25,
+        )
+        assert instance.lam == 0.25
+
+    def test_instance_cache(self, att_context):
+        scenario = FailureScenario(frozenset({13}))
+        assert att_context.instance(scenario) is att_context.instance(
+            FailureScenario(frozenset({13}))
+        )

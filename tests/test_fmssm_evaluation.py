@@ -1,0 +1,153 @@
+"""Tests for solution verification and metric evaluation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SolutionError
+from repro.fmssm.evaluation import evaluate_solution, verify_solution
+from repro.fmssm.solution import RecoverySolution
+from conftest import make_tiny_instance
+
+
+def full_solution() -> RecoverySolution:
+    """All four tiny-instance pairs active: switch 1 -> 100, 2 -> 200."""
+    return RecoverySolution(
+        algorithm="test",
+        mapping={1: 100, 2: 200},
+        sdn_pairs={
+            (1, (10, 11)),
+            (1, (10, 12)),
+            (2, (10, 12)),
+            (2, (11, 12)),
+        },
+    )
+
+
+class TestVerify:
+    def test_valid_solution_passes(self, tiny_instance):
+        verify_solution(tiny_instance, full_solution())
+
+    def test_non_offline_switch_rejected(self, tiny_instance):
+        bad = full_solution()
+        bad.mapping[9] = 100
+        with pytest.raises(SolutionError, match="not offline"):
+            verify_solution(tiny_instance, bad)
+
+    def test_inactive_controller_rejected(self, tiny_instance):
+        bad = full_solution()
+        bad.mapping[1] = 999
+        with pytest.raises(SolutionError, match="non-active"):
+            verify_solution(tiny_instance, bad)
+
+    def test_non_programmable_pair_rejected(self, tiny_instance):
+        bad = full_solution()
+        bad.sdn_pairs.add((2, (10, 11)))  # flow a does not transit switch 2
+        with pytest.raises(SolutionError, match="programmable"):
+            verify_solution(tiny_instance, bad)
+
+    def test_capacity_violation_rejected(self):
+        instance = make_tiny_instance(spare={100: 1, 200: 4})
+        bad = full_solution()  # switch 1 -> 100 hosts two pairs > spare 1
+        with pytest.raises(SolutionError, match="exceeds spare"):
+            verify_solution(instance, bad)
+
+    def test_delay_violation_rejected(self):
+        instance = make_tiny_instance(ideal_delay_ms=0.5)
+        with pytest.raises(SolutionError, match="delay"):
+            verify_solution(instance, full_solution(), enforce_delay=True)
+
+    def test_delay_ignored_when_not_enforced(self):
+        instance = make_tiny_instance(ideal_delay_ms=0.5)
+        verify_solution(instance, full_solution(), enforce_delay=False)
+
+    def test_infeasible_solution_must_be_empty(self, tiny_instance):
+        bad = RecoverySolution(algorithm="t", feasible=False, mapping={1: 100})
+        with pytest.raises(SolutionError, match="empty"):
+            verify_solution(tiny_instance, bad)
+
+    def test_pair_controller_override_checked(self, tiny_instance):
+        solution = RecoverySolution(
+            algorithm="t",
+            sdn_pairs={(1, (10, 11))},
+            pair_controller={(1, (10, 11)): 999},
+        )
+        with pytest.raises(SolutionError, match="non-active"):
+            verify_solution(tiny_instance, solution)
+
+    def test_load_override_used_for_capacity(self):
+        instance = make_tiny_instance(spare={100: 1, 200: 4})
+        solution = RecoverySolution(
+            algorithm="t",
+            mapping={1: 100},
+            sdn_pairs={(1, (10, 11))},
+            load_override={100: 2},  # claims gamma-based cost 2 > spare 1
+        )
+        with pytest.raises(SolutionError, match="exceeds spare"):
+            verify_solution(instance, solution)
+
+
+class TestEvaluate:
+    def test_full_solution_metrics(self, tiny_instance):
+        evaluation = evaluate_solution(tiny_instance, full_solution())
+        assert evaluation.programmability == {
+            (10, 11): 2,
+            (10, 12): 5,
+            (11, 12): 4,
+        }
+        assert evaluation.least_programmability == 2
+        assert evaluation.total_programmability == 11
+        assert evaluation.recovered_flows == 3
+        assert evaluation.recovery_fraction == 1.0
+        assert evaluation.recovered_switches == 2
+        assert evaluation.objective == pytest.approx(2 + tiny_instance.lam * 11)
+
+    def test_partial_solution(self, tiny_instance):
+        solution = RecoverySolution(
+            algorithm="t", mapping={1: 100}, sdn_pairs={(1, (10, 12))}
+        )
+        evaluation = evaluate_solution(tiny_instance, solution)
+        assert evaluation.least_programmability == 0  # flows a and c at 0
+        assert evaluation.recovered_flows == 1
+        assert evaluation.total_programmability == 3
+
+    def test_unmapped_pairs_inactive(self, tiny_instance):
+        solution = RecoverySolution(
+            algorithm="t", mapping={}, sdn_pairs={(1, (10, 12))}
+        )
+        evaluation = evaluate_solution(tiny_instance, solution)
+        assert evaluation.total_programmability == 0
+        assert evaluation.recovered_switches == 0
+
+    def test_per_flow_overhead(self, tiny_instance):
+        solution = full_solution()
+        evaluation = evaluate_solution(tiny_instance, solution)
+        # Delays: s1->100 twice (1.0 each) + s2->200 twice (2.0 each) = 6.
+        assert evaluation.total_delay_ms == pytest.approx(6.0)
+        assert evaluation.per_flow_overhead_ms == pytest.approx(6.0 / 3)
+
+    def test_extra_overhead_added(self, tiny_instance):
+        solution = full_solution()
+        solution.extra_overhead_ms = 0.48
+        evaluation = evaluate_solution(tiny_instance, solution)
+        assert evaluation.per_flow_overhead_ms == pytest.approx(6.0 / 3 + 0.48)
+
+    def test_infeasible_evaluation_zeroed(self, tiny_instance):
+        solution = RecoverySolution(algorithm="t", feasible=False)
+        evaluation = evaluate_solution(tiny_instance, solution)
+        assert not evaluation.feasible
+        assert evaluation.total_programmability == 0
+        assert evaluation.recovered_flows == 0
+
+    def test_controller_load_reported(self, tiny_instance):
+        evaluation = evaluate_solution(tiny_instance, full_solution())
+        assert evaluation.controller_load == {100: 2, 200: 2}
+
+    def test_programmability_values_excludes_unrecoverable(self, att_instance_5_13_20):
+        from repro.pm import solve_pm
+
+        evaluation = evaluate_solution(
+            att_instance_5_13_20, solve_pm(att_instance_5_13_20)
+        )
+        values = evaluation.programmability_values()
+        assert len(values) == len(att_instance_5_13_20.recoverable_flows)

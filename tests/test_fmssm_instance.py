@@ -1,0 +1,127 @@
+"""Tests for FMSSMInstance validation and derived quantities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ModelError
+from conftest import make_tiny_instance
+
+
+class TestDerived:
+    def test_dimensions(self, tiny_instance):
+        assert tiny_instance.n_switches == 2
+        assert tiny_instance.n_controllers == 2
+        assert tiny_instance.n_flows == 3
+
+    def test_pairs_sorted(self, tiny_instance):
+        assert tiny_instance.pairs == (
+            (1, (10, 11)),
+            (1, (10, 12)),
+            (2, (10, 12)),
+            (2, (11, 12)),
+        )
+
+    def test_pairs_at_and_of(self, tiny_instance):
+        assert tiny_instance.pairs_at[1] == ((10, 11), (10, 12))
+        assert tiny_instance.pairs_of[(10, 12)] == (1, 2)
+
+    def test_all_flows_recoverable_in_tiny(self, tiny_instance):
+        assert tiny_instance.recoverable_flows == ((10, 11), (10, 12), (11, 12))
+        assert tiny_instance.unrecoverable_flows == ()
+
+    def test_max_programmability(self, tiny_instance):
+        assert tiny_instance.max_programmability((10, 12)) == 5
+        assert tiny_instance.max_programmability((10, 11)) == 2
+
+    def test_total_max_programmability(self, tiny_instance):
+        assert tiny_instance.total_max_programmability() == 11
+
+    def test_total_iterations_is_max_offline_switches_per_flow(self, tiny_instance):
+        assert tiny_instance.total_iterations == 2
+
+    def test_total_spare(self, tiny_instance):
+        assert tiny_instance.total_spare == 4
+
+    def test_describe(self, tiny_instance):
+        text = tiny_instance.describe()
+        assert "N=2" in text and "M=2" in text and "L=3" in text
+
+
+class TestValidation:
+    def test_missing_delay_rejected(self):
+        with pytest.raises(ModelError, match="missing delay"):
+            instance = make_tiny_instance()
+            from repro.fmssm.instance import FMSSMInstance
+
+            FMSSMInstance(
+                switches=instance.switches,
+                controllers=instance.controllers,
+                spare=instance.spare,
+                delay={(1, 100): 1.0},
+                flows=instance.flows,
+                pbar=instance.pbar,
+                gamma=instance.gamma,
+                ideal_delay_ms=instance.ideal_delay_ms,
+                lam=instance.lam,
+                nearest=instance.nearest,
+            )
+
+    def test_negative_spare_rejected(self):
+        with pytest.raises(ModelError, match="negative spare"):
+            make_tiny_instance(spare={100: -1, 200: 2})
+
+    def test_pbar_below_two_rejected(self):
+        instance = make_tiny_instance()
+        from repro.fmssm.instance import FMSSMInstance
+
+        bad_pbar = dict(instance.pbar)
+        bad_pbar[(1, (10, 11))] = 1
+        with pytest.raises(ModelError, match="pbar"):
+            FMSSMInstance(
+                switches=instance.switches,
+                controllers=instance.controllers,
+                spare=instance.spare,
+                delay=instance.delay,
+                flows=instance.flows,
+                pbar=bad_pbar,
+                gamma=instance.gamma,
+                ideal_delay_ms=instance.ideal_delay_ms,
+                lam=instance.lam,
+                nearest=instance.nearest,
+            )
+
+    def test_negative_lambda_rejected(self):
+        with pytest.raises(ModelError, match="lambda"):
+            make_tiny_instance(lam=-0.1)
+
+    def test_unknown_pbar_switch_rejected(self):
+        instance = make_tiny_instance()
+        from repro.fmssm.instance import FMSSMInstance
+
+        bad_pbar = dict(instance.pbar)
+        bad_pbar[(7, (10, 11))] = 2
+        with pytest.raises(ModelError, match="non-offline"):
+            FMSSMInstance(
+                switches=instance.switches,
+                controllers=instance.controllers,
+                spare=instance.spare,
+                delay=instance.delay,
+                flows=instance.flows,
+                pbar=bad_pbar,
+                gamma=instance.gamma,
+                ideal_delay_ms=instance.ideal_delay_ms,
+                lam=instance.lam,
+                nearest=instance.nearest,
+            )
+
+    def test_att_instance_sane(self, att_instance_13_20):
+        instance = att_instance_13_20
+        assert instance.n_switches == 7
+        assert instance.n_controllers == 4
+        assert instance.n_flows > 300
+        assert instance.total_iterations >= 2
+        # Every pair references an offline switch and an offline flow.
+        for switch, flow_id in instance.pairs:
+            assert switch in instance.switches
+            assert flow_id in instance.flows

@@ -1,0 +1,56 @@
+"""Tests for the two-stage FMSSM solve and its equivalence to the
+weighted single-stage formulation (the paper's Section IV-D claim)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fmssm.evaluation import evaluate_solution, verify_solution
+from repro.fmssm.optimal import solve_optimal
+from repro.fmssm.two_stage import solve_two_stage
+from conftest import make_tiny_instance
+
+
+class TestTwoStage:
+    def test_tiny_instance(self, tiny_instance):
+        solution = solve_two_stage(tiny_instance)
+        assert solution.feasible
+        verify_solution(tiny_instance, solution, enforce_delay=True)
+        evaluation = evaluate_solution(tiny_instance, solution)
+        assert evaluation.least_programmability == 2
+        assert evaluation.total_programmability == 11
+        assert solution.meta["stage1_r"] == 2
+
+    def test_infeasible_propagates(self):
+        instance = make_tiny_instance(spare={100: 1, 200: 0})
+        solution = solve_two_stage(instance, require_full_recovery=True)
+        assert not solution.feasible
+        assert solution.meta["stage"] == 1
+
+    def test_equivalence_with_weighted_optimal_tiny(self, tiny_instance):
+        """The paper's claim: the weighted objective with a safe lambda
+        reproduces the two-stage optimum exactly."""
+        weighted = evaluate_solution(tiny_instance, solve_optimal(tiny_instance))
+        two_stage = evaluate_solution(tiny_instance, solve_two_stage(tiny_instance))
+        assert weighted.least_programmability == two_stage.least_programmability
+        assert weighted.total_programmability == two_stage.total_programmability
+
+    def test_equivalence_on_small_network(self, small_instance):
+        weighted = evaluate_solution(
+            small_instance, solve_optimal(small_instance, time_limit_s=120)
+        )
+        two_stage = evaluate_solution(
+            small_instance, solve_two_stage(small_instance, time_limit_s=120)
+        )
+        assert weighted.least_programmability == two_stage.least_programmability
+        assert weighted.total_programmability == pytest.approx(
+            two_stage.total_programmability
+        )
+
+    def test_relaxed_mode(self):
+        instance = make_tiny_instance(spare={100: 1, 200: 0})
+        solution = solve_two_stage(instance, require_full_recovery=False)
+        assert solution.feasible
+        evaluation = evaluate_solution(instance, solution)
+        # One unit of budget: the best single pair (p̄ = 4 at switch 2).
+        assert evaluation.total_programmability == 4

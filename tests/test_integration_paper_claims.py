@@ -1,0 +1,212 @@
+"""End-to-end checks of the paper's qualitative claims (Section VI).
+
+These tests run the actual experiment pipeline on the default ATT
+context and assert the *shape* of the paper's results: who wins, where
+the crossovers are, and which cases are tight.  Optimal runs are limited
+to a few scenarios to keep the suite fast; the full sweeps live in
+``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.control.failures import FailureScenario
+from repro.experiments.runner import run_failure_sweep, run_scenario
+from repro.fmssm.evaluation import evaluate_solution
+from repro.fmssm.optimal import solve_optimal
+from repro.pm.algorithm import solve_pm
+
+FAST = ("retroflow", "pg", "pm")
+
+
+@pytest.fixture(scope="module")
+def two_failure_results(att_context):
+    return run_failure_sweep(att_context, 2, FAST)
+
+
+@pytest.fixture(scope="module")
+def three_failure_results(att_context):
+    return run_failure_sweep(att_context, 3, FAST)
+
+
+class TestOneFailure:
+    """Fig. 4: under one failure every algorithm recovers everything."""
+
+    @pytest.fixture(scope="class")
+    def results(self, att_context):
+        return run_failure_sweep(att_context, 1, FAST)
+
+    def test_all_algorithms_full_recovery(self, results):
+        for result in results:
+            for name in FAST:
+                assert result.evaluations[name].recovery_fraction == pytest.approx(1.0)
+
+    def test_equal_least_programmability(self, results):
+        for result in results:
+            values = {result.evaluations[name].least_programmability for name in FAST}
+            assert len(values) == 1
+
+    def test_pg_charged_middle_layer_penalty(self, results):
+        """Fig. 4(d): PG pays the FlowVisor middle-layer penalty on top
+        of propagation.
+
+        Deviation note (see EXPERIMENTS.md): the paper reports PG's
+        overhead as uniformly worst, which implies sub-millisecond
+        propagation overheads; at continental propagation scales PG's
+        per-pair nearest-controller placement can offset the 0.48 ms
+        penalty, so we assert the penalty is charged rather than strict
+        dominance.
+        """
+        for result in results:
+            pg_eval = result.evaluations["pg"]
+            propagation_only = (
+                pg_eval.total_delay_ms / pg_eval.recovered_flows
+                if pg_eval.recovered_flows
+                else 0.0
+            )
+            assert pg_eval.per_flow_overhead_ms == pytest.approx(
+                propagation_only + 0.48
+            )
+
+
+class TestTwoFailures:
+    """Fig. 5 claims."""
+
+    def test_pm_and_pg_full_recovery(self, two_failure_results):
+        for result in two_failure_results:
+            assert result.evaluations["pm"].recovery_fraction == pytest.approx(1.0)
+            assert result.evaluations["pg"].recovery_fraction == pytest.approx(1.0)
+
+    def test_retroflow_partial_recovery(self, two_failure_results):
+        """RetroFlow recovers 71-99 % of flows in the paper; the shape —
+        always below 100 %, never catastrophic — must hold."""
+        fractions = [
+            r.evaluations["retroflow"].recovery_fraction for r in two_failure_results
+        ]
+        assert all(0.5 <= f < 1.0 for f in fractions)
+
+    def test_retroflow_least_programmability_zero(self, two_failure_results):
+        for result in two_failure_results:
+            assert result.evaluations["retroflow"].least_programmability == 0
+
+    def test_pm_balanced_at_least_two(self, two_failure_results):
+        """The least programmability is limited to 2 by short-path flows
+        but never below (balanced recovery)."""
+        for result in two_failure_results:
+            assert result.evaluations["pm"].least_programmability >= 2
+
+    def test_pm_beats_retroflow_totals(self, two_failure_results):
+        """PM's total programmability dominates RetroFlow's: strictly in
+        nearly every case, never materially below, >10 % ahead on
+        average (the paper reports 105-315 %)."""
+        ratios = [
+            r.relative_total_programmability("retroflow")["pm"]
+            for r in two_failure_results
+        ]
+        assert min(ratios) >= 0.95
+        assert sum(1 for r in ratios if r > 1.0) >= len(ratios) - 1
+        assert sum(ratios) / len(ratios) > 1.1
+
+    def test_case_13_20_is_the_flagship(self, two_failure_results, att_context):
+        """The paper's 315 % case: (13, 20) maximizes PM's advantage
+        because switch 13 cannot be mapped whole."""
+        ratios = {
+            r.name: r.relative_total_programmability("retroflow")["pm"]
+            for r in two_failure_results
+        }
+        assert max(ratios, key=ratios.get) == "(13, 20)"
+        instance = att_context.instance(FailureScenario(frozenset({13, 20})))
+        assert instance.gamma[13] > max(instance.spare.values())
+
+    def test_pm_close_to_pg_totals(self, two_failure_results):
+        """Fig. 5(b): PM performs nearly the same as PG."""
+        for result in two_failure_results:
+            pm = result.evaluations["pm"].total_programmability
+            pg = result.evaluations["pg"].total_programmability
+            assert pm >= 0.9 * pg
+
+    def test_optimal_on_flagship_case(self, att_context):
+        result = run_scenario(
+            att_context,
+            FailureScenario(frozenset({13, 20})),
+            ("optimal", "pm"),
+            optimal_time_limit_s=300.0,
+        )
+        optimal = result.evaluations["optimal"]
+        pm = result.evaluations["pm"]
+        assert optimal.feasible
+        assert optimal.least_programmability == pm.least_programmability == 2
+        # Optimal is capped by the delay budget G; PM (like the paper's)
+        # is not, so PM's raw total may exceed Optimal's.
+        assert pm.total_programmability >= 0.9 * optimal.total_programmability
+
+
+class TestThreeFailures:
+    """Fig. 6 claims."""
+
+    def test_retroflow_degrades_further(self, three_failure_results):
+        """Paper: RetroFlow recovers only 25-85 % under three failures."""
+        fractions = [
+            r.evaluations["retroflow"].recovery_fraction
+            for r in three_failure_results
+        ]
+        assert max(fractions) < 0.9
+        assert min(fractions) < 0.6
+
+    def test_pm_recovers_most_flows(self, three_failure_results):
+        """Paper: PM recovers 100 % in most cases, 60-92 % in the rest."""
+        fractions = [
+            r.evaluations["pm"].recovery_fraction for r in three_failure_results
+        ]
+        full = sum(1 for f in fractions if f == pytest.approx(1.0))
+        assert full >= len(fractions) // 2
+        assert min(fractions) >= 0.6
+
+    def test_some_cases_are_capacity_tight(self, three_failure_results, att_context):
+        """In a subset of cases even flow-level recovery is partial
+        because the spare capacity runs out (the paper's 8 of 20)."""
+        partial = [
+            r
+            for r in three_failure_results
+            if r.evaluations["pg"].recovery_fraction < 1.0
+        ]
+        assert 1 <= len(partial) <= 10
+        for result in partial:
+            instance = att_context.instance(result.scenario)
+            assert len(instance.recoverable_flows) > instance.total_spare
+
+    def test_pm_matches_pg_recovery_in_tight_cases(self, three_failure_results):
+        for result in three_failure_results:
+            pm = result.evaluations["pm"].recovery_fraction
+            pg = result.evaluations["pg"].recovery_fraction
+            assert pm == pytest.approx(pg, abs=0.02)
+
+    def test_optimal_infeasible_in_tight_cases(self, att_context):
+        """The paper's "Optimal cannot always have results" (Fig. 6)."""
+        tight = FailureScenario(frozenset({5, 13, 20}))
+        instance = att_context.instance(tight)
+        assert len(instance.recoverable_flows) > instance.total_spare
+        solution = solve_optimal(instance, time_limit_s=120.0)
+        assert not solution.feasible
+
+    def test_pm_always_has_a_result(self, att_context):
+        """PM is a heuristic and always returns (paper, Section VI-C3)."""
+        tight = FailureScenario(frozenset({5, 13, 20}))
+        instance = att_context.instance(tight)
+        evaluation = evaluate_solution(instance, solve_pm(instance))
+        assert evaluation.feasible
+        assert evaluation.recovered_flows > 0
+
+
+class TestComputationTime:
+    """Fig. 7: PM runs orders of magnitude faster than Optimal."""
+
+    def test_pm_fraction_of_optimal(self, att_context):
+        scenario = FailureScenario(frozenset({13, 20}))
+        instance = att_context.instance(scenario)
+        pm = solve_pm(instance)
+        optimal = solve_optimal(instance, time_limit_s=300.0)
+        assert optimal.feasible
+        # Paper: 1.77-2.54 % on average; assert well under 10 %.
+        assert pm.solve_time_s < 0.1 * optimal.solve_time_s

@@ -1,0 +1,109 @@
+"""Tests for result serialization and the export CLI command."""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.io.serialize import dumps_json, figure_to_csv, to_jsonable, write_csv, write_json
+from repro.metrics.summary import summarize
+
+
+class TestToJsonable:
+    def test_primitives_pass_through(self):
+        assert to_jsonable({"a": 1, "b": "x", "c": None, "d": True}) == {
+            "a": 1,
+            "b": "x",
+            "c": None,
+            "d": True,
+        }
+
+    def test_tuples_become_lists(self):
+        assert to_jsonable((1, 2, (3,))) == [1, 2, [3]]
+
+    def test_dataclasses_become_dicts(self):
+        summary = summarize([1, 2, 3])
+        data = to_jsonable(summary)
+        assert data["median"] == 2.0
+        assert data["count"] == 3
+
+    def test_nonfinite_floats_become_none(self):
+        assert to_jsonable(float("inf")) is None
+        assert to_jsonable(float("nan")) is None
+
+    def test_dict_keys_stringified(self):
+        assert to_jsonable({(1, 2): 3}) == {"(1, 2)": 3}
+
+    def test_unserializable_rejected(self):
+        with pytest.raises(ReproError, match="serialize"):
+            to_jsonable(object())
+
+    def test_dumps_round_trips(self):
+        text = dumps_json({"x": [1.5, 2.5]})
+        assert json.loads(text) == {"x": [1.5, 2.5]}
+
+
+@pytest.fixture(scope="module")
+def fig_data(att_context):
+    from repro.experiments.figures import failure_figure_data
+
+    return failure_figure_data(att_context, 1, ("retroflow", "pm"))
+
+
+class TestFigureCsv:
+    def test_one_row_per_case_algorithm(self, fig_data):
+        rows = list(csv.reader(figure_to_csv(fig_data).splitlines()))
+        header, body = rows[0], rows[1:]
+        assert header[:3] == ["n_failures", "case", "algorithm"]
+        assert len(body) == 6 * 2
+
+    def test_values_parse_back(self, fig_data):
+        rows = list(csv.DictReader(figure_to_csv(fig_data).splitlines()))
+        for row in rows:
+            assert int(row["n_failures"]) == 1
+            assert float(row["recovered_flows_pct"]) == pytest.approx(100.0)
+            assert not math.isnan(float(row["total_programmability"]))
+
+    def test_write_files(self, fig_data, tmp_path):
+        json_path = tmp_path / "fig.json"
+        csv_path = tmp_path / "fig.csv"
+        write_json(str(json_path), fig_data)
+        write_csv(str(csv_path), fig_data)
+        loaded = json.loads(json_path.read_text())
+        assert loaded["n_failures"] == 1
+        assert csv_path.read_text().startswith("n_failures,case,algorithm")
+
+
+class TestExportCommand:
+    def test_export_json(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "fig1.json"
+        code = main(
+            ["export", "--failures", "1", "--algorithms", "retroflow,pm", "--out", str(out)]
+        )
+        assert code == 0
+        data = json.loads(out.read_text())
+        assert len(data["cases"]) == 6
+
+    def test_export_csv(self, tmp_path):
+        from repro.cli import main
+
+        out = tmp_path / "fig1.csv"
+        code = main(
+            ["export", "--failures", "1", "--algorithms", "pm", "--out", str(out)]
+        )
+        assert code == 0
+        assert out.read_text().count("\n") == 7  # header + 6 cases
+
+    def test_export_bad_extension(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["export", "--failures", "1", "--algorithms", "pm", "--out", str(tmp_path / "x.txt")]
+        )
+        assert code == 2

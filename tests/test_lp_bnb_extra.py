@@ -1,0 +1,91 @@
+"""Extra branch-and-bound coverage: caps, general integers, pruning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lp import LinExpr, Model, SolveStatus, solve_with_bnb
+
+
+class TestGeneralIntegers:
+    def test_non_binary_integer_variable(self):
+        m = Model()
+        x = m.add_var("x", integer=True, lb=0, ub=100)
+        y = m.add_var("y", integer=True, lb=0, ub=100)
+        m.add_constraint(3 * x + 5 * y <= 37)
+        m.set_objective(2 * x + 3 * y, sense="max")
+        result = solve_with_bnb(m)
+        assert result.status is SolveStatus.OPTIMAL
+        # Check integrality and feasibility of the incumbent.
+        x_val, y_val = result.value("x"), result.value("y")
+        assert x_val == int(x_val) and y_val == int(y_val)
+        assert 3 * x_val + 5 * y_val <= 37 + 1e-9
+        # Exhaustive check of the small lattice.
+        best = max(
+            2 * a + 3 * b
+            for a in range(13)
+            for b in range(8)
+            if 3 * a + 5 * b <= 37
+        )
+        assert result.objective == pytest.approx(best)
+
+    def test_negative_lower_bounds(self):
+        m = Model()
+        x = m.add_var("x", integer=True, lb=-5, ub=5)
+        m.add_constraint(2 * x >= -7)
+        m.set_objective(x, sense="min")
+        result = solve_with_bnb(m)
+        assert result.objective == pytest.approx(-3.0)
+
+    def test_mixed_integer_continuous(self):
+        m = Model()
+        x = m.add_var("x", integer=True, ub=10)
+        y = m.add_var("y", ub=10)  # continuous
+        m.add_constraint(x + y <= 7.5)
+        m.set_objective(3 * x + 2 * y, sense="max")
+        result = solve_with_bnb(m)
+        assert result.value("x") == pytest.approx(7.0)
+        assert result.value("y") == pytest.approx(0.5)
+        assert result.objective == pytest.approx(22.0)
+
+
+class TestLimits:
+    def test_max_nodes_cap_returns_incumbent_or_timeout(self):
+        m = Model()
+        xs = [m.add_var(f"x{i}", binary=True) for i in range(12)]
+        m.add_constraint(LinExpr.total((3.0, x) for x in xs) <= 17)
+        m.set_objective(LinExpr.total((float(i + 1), x) for i, x in enumerate(xs)), "max")
+        result = solve_with_bnb(m, max_nodes=2)
+        assert result.status in (
+            SolveStatus.TIMEOUT,
+            SolveStatus.FEASIBLE,
+            SolveStatus.OPTIMAL,
+        )
+
+    def test_pure_lp_short_circuit(self):
+        """With no integer variables bnb solves in one relaxation."""
+        m = Model()
+        x = m.add_var("x", ub=4)
+        m.set_objective(x, sense="max")
+        result = solve_with_bnb(m)
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.nodes <= 1
+
+    def test_unbounded_detected(self):
+        m = Model()
+        x = m.add_var("x", integer=True)  # ub = inf
+        m.set_objective(x, sense="max")
+        result = solve_with_bnb(m)
+        assert result.status is SolveStatus.UNBOUNDED
+
+    def test_objective_tie_consistency_with_highs(self):
+        from repro.lp import solve
+
+        m = Model()
+        x = m.add_var("x", binary=True)
+        y = m.add_var("y", binary=True)
+        m.add_constraint(x + y <= 1)
+        m.set_objective(x + y, sense="max")  # two optima, same value
+        a = solve(m, solver="highs")
+        b = solve_with_bnb(m)
+        assert a.objective == pytest.approx(b.objective) == pytest.approx(1.0)

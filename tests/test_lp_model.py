@@ -1,0 +1,151 @@
+"""Tests for the LP modelling DSL."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.lp.model import EQUAL, GREATER_EQUAL, LESS_EQUAL, Constraint, LinExpr, Model
+
+
+class TestVariables:
+    def test_add_var_defaults(self):
+        m = Model()
+        x = m.add_var("x")
+        assert x.lb == 0.0 and x.ub == math.inf and not x.integer
+
+    def test_binary_shorthand(self):
+        m = Model()
+        y = m.add_var("y", binary=True)
+        assert (y.lb, y.ub, y.integer) == (0.0, 1.0, True)
+
+    def test_duplicate_name_rejected(self):
+        m = Model()
+        m.add_var("x")
+        with pytest.raises(ModelError, match="duplicate"):
+            m.add_var("x")
+
+    def test_inverted_bounds_rejected(self):
+        m = Model()
+        with pytest.raises(ModelError):
+            m.add_var("x", lb=5, ub=1)
+
+    def test_counts(self):
+        m = Model()
+        m.add_var("x")
+        m.add_var("y", binary=True)
+        assert m.n_vars == 2
+        assert m.n_integer_vars == 1
+
+
+class TestExpressions:
+    def setup_method(self):
+        self.m = Model()
+        self.x = self.m.add_var("x")
+        self.y = self.m.add_var("y")
+
+    def test_addition_and_scaling(self):
+        expr = 2 * self.x + self.y * 3 + 4
+        assert expr.coefficients[self.x.index] == 2
+        assert expr.coefficients[self.y.index] == 3
+        assert expr.constant == 4
+
+    def test_subtraction(self):
+        expr = self.x - self.y - 1
+        assert expr.coefficients[self.y.index] == -1
+        assert expr.constant == -1
+
+    def test_rsub(self):
+        expr = 5 - self.x
+        assert expr.constant == 5
+        assert expr.coefficients[self.x.index] == -1
+
+    def test_negation(self):
+        expr = -(2 * self.x)
+        assert expr.coefficients[self.x.index] == -2
+
+    def test_var_plus_var(self):
+        expr = self.x + self.y
+        assert len(expr.coefficients) == 2
+
+    def test_total_builder(self):
+        expr = LinExpr.total([(2.0, self.x), (3.0, self.y), (1.0, self.x)])
+        assert expr.coefficients[self.x.index] == 3.0
+
+    def test_repr_readable(self):
+        expr = 2 * self.x - self.y
+        text = repr(expr)
+        assert "x" in text and "y" in text
+
+
+class TestConstraints:
+    def setup_method(self):
+        self.m = Model()
+        self.x = self.m.add_var("x")
+        self.y = self.m.add_var("y")
+
+    def test_le_constraint(self):
+        c = self.m.add_constraint(self.x + self.y <= 5)
+        assert c.sense == LESS_EQUAL
+        assert c.rhs == 5
+
+    def test_ge_constraint(self):
+        c = self.m.add_constraint(2 * self.x >= self.y)
+        assert c.sense == GREATER_EQUAL
+        assert c.rhs == 0
+        assert c.expr.coefficients[self.y.index] == -1
+
+    def test_eq_constraint(self):
+        c = self.m.add_constraint(1 * self.x == 3)
+        assert c.sense == EQUAL
+        assert c.rhs == 3
+
+    def test_var_comparison_builds_constraint(self):
+        c = self.x <= 4
+        assert isinstance(c, Constraint)
+
+    def test_constant_only_rejected(self):
+        with pytest.raises(ModelError, match="no variables"):
+            Constraint.build(3.0, LESS_EQUAL, 5.0)
+
+    def test_named_constraint(self):
+        c = self.m.add_constraint(self.x <= 1, name="cap")
+        assert c.name == "cap"
+        assert "cap" in repr(c)
+
+    def test_non_constraint_rejected(self):
+        with pytest.raises(ModelError):
+            self.m.add_constraint(True)  # type: ignore[arg-type]
+
+
+class TestObjective:
+    def test_set_objective(self):
+        m = Model()
+        x = m.add_var("x")
+        m.set_objective(2 * x + 1, sense="max")
+        assert m.sense == "max"
+        assert m.objective.constant == 1
+
+    def test_var_objective_promoted(self):
+        m = Model()
+        x = m.add_var("x")
+        m.set_objective(x)
+        assert m.objective.coefficients[x.index] == 1
+
+    def test_invalid_sense(self):
+        m = Model()
+        x = m.add_var("x")
+        with pytest.raises(ModelError):
+            m.set_objective(x, sense="maximize!")
+
+    def test_default_objective_zero(self):
+        m = Model()
+        m.add_var("x")
+        assert m.objective.coefficients == {}
+
+    def test_repr(self):
+        m = Model("demo")
+        m.add_var("x", binary=True)
+        assert "demo" in repr(m)

@@ -1,0 +1,47 @@
+"""Tests for metric summaries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.summary import FiveNumberSummary, summarize
+
+
+class TestSummarize:
+    def test_simple_distribution(self):
+        summary = summarize([1, 2, 3, 4, 5])
+        assert summary.minimum == 1
+        assert summary.median == 3
+        assert summary.maximum == 5
+        assert summary.mean == pytest.approx(3.0)
+        assert summary.count == 5
+
+    def test_quartiles(self):
+        summary = summarize(list(range(1, 101)))
+        assert summary.q1 == pytest.approx(25.75)
+        assert summary.q3 == pytest.approx(75.25)
+
+    def test_single_value(self):
+        summary = summarize([7])
+        assert summary.as_row() == (7, 7, 7, 7, 7)
+
+    def test_empty_yields_zeros(self):
+        summary = summarize([])
+        assert summary.count == 0
+        assert summary.as_row() == (0, 0, 0, 0, 0)
+
+    def test_constant_distribution(self):
+        summary = summarize([4] * 10)
+        assert summary.minimum == summary.maximum == 4
+
+    def test_str_format(self):
+        text = str(summarize([1, 2, 3]))
+        assert "med=2" in text and "n=3" in text
+
+    def test_frozen(self):
+        summary = summarize([1])
+        with pytest.raises(AttributeError):
+            summary.mean = 0  # type: ignore[misc]
+
+    def test_ordering_invariant(self):
+        assert summarize([3, 1, 2]) == summarize([1, 2, 3])

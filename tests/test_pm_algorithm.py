@@ -1,0 +1,117 @@
+"""Tests for the PM heuristic (Algorithm 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fmssm.evaluation import evaluate_solution, verify_solution
+from repro.fmssm.optimal import solve_optimal
+from repro.pm.algorithm import ProgrammabilityMedic, solve_pm
+from conftest import make_tiny_instance
+
+
+class TestTinyInstance:
+    def test_pm_matches_optimal_when_resources_ample(self, tiny_instance):
+        pm = evaluate_solution(tiny_instance, solve_pm(tiny_instance))
+        optimal = evaluate_solution(tiny_instance, solve_optimal(tiny_instance))
+        assert pm.least_programmability == optimal.least_programmability == 2
+        assert pm.total_programmability == optimal.total_programmability == 11
+
+    def test_solution_verifies(self, tiny_instance):
+        verify_solution(tiny_instance, solve_pm(tiny_instance), enforce_delay=False)
+
+    def test_scarce_budget_prioritizes_least_flows(self):
+        """With one unit per controller, PM still gives every flow a pair
+        before doubling up (balanced recovery)."""
+        instance = make_tiny_instance(spare={100: 2, 200: 1})
+        evaluation = evaluate_solution(instance, solve_pm(instance))
+        assert evaluation.recovered_flows == 3
+
+    def test_zero_budget_recovers_nothing(self):
+        instance = make_tiny_instance(spare={100: 0, 200: 0})
+        evaluation = evaluate_solution(instance, solve_pm(instance))
+        assert evaluation.total_programmability == 0
+        assert evaluation.recovered_flows == 0
+
+    def test_phase2_orders_equivalent_here(self, tiny_instance):
+        paper = evaluate_solution(tiny_instance, solve_pm(tiny_instance, phase2_order="paper"))
+        greedy = evaluate_solution(tiny_instance, solve_pm(tiny_instance, phase2_order="greedy"))
+        assert paper.total_programmability == greedy.total_programmability
+
+    def test_invalid_phase2_order(self, tiny_instance):
+        with pytest.raises(ValueError, match="phase2_order"):
+            ProgrammabilityMedic(tiny_instance, phase2_order="random")
+
+    def test_meta_records_iterations(self, tiny_instance):
+        solution = solve_pm(tiny_instance)
+        assert solution.meta["total_iterations"] == tiny_instance.total_iterations
+
+    def test_runner_reusable(self, tiny_instance):
+        runner = ProgrammabilityMedic(tiny_instance)
+        first = runner.run()
+        second = runner.run()
+        assert first.sdn_pairs == second.sdn_pairs
+        assert first.mapping == second.mapping
+
+
+class TestAttInstances:
+    def test_feasibility_on_flagship_case(self, att_instance_13_20):
+        solution = solve_pm(att_instance_13_20)
+        verify_solution(att_instance_13_20, solution, enforce_delay=False)
+
+    def test_balanced_least_programmability(self, att_instance_13_20):
+        """The paper: the least programmability is recovered to 2."""
+        evaluation = evaluate_solution(att_instance_13_20, solve_pm(att_instance_13_20))
+        assert evaluation.least_programmability == 2
+        assert evaluation.recovery_fraction == 1.0
+
+    def test_hub_switch_recovered_per_flow(self, att_instance_13_20):
+        """Switch 13's gamma exceeds every controller's spare, yet PM
+        recovers flows there by altering the per-flow control cost —
+        the paper's case (13, 20) narrative."""
+        instance = att_instance_13_20
+        assert instance.gamma[13] > max(instance.spare.values())
+        solution = solve_pm(instance)
+        assert 13 in solution.mapping
+        sdn_at_13 = [p for p in solution.sdn_pairs if p[0] == 13]
+        assert sdn_at_13  # flows run in SDN mode at the unmappable-whole switch
+        assert len(sdn_at_13) < instance.gamma[13]  # but not all of them
+
+    def test_every_offline_switch_mapped_when_capacity_allows(self, att_instance_13_20):
+        solution = solve_pm(att_instance_13_20)
+        assert set(solution.mapping) == set(att_instance_13_20.switches)
+
+    def test_capacity_never_exceeded(self, att_instance_5_13_20):
+        instance = att_instance_5_13_20
+        evaluation = evaluate_solution(instance, solve_pm(instance))
+        for controller, load in evaluation.controller_load.items():
+            assert load <= instance.spare[controller]
+
+    def test_tight_case_uses_entire_budget(self, att_instance_5_13_20):
+        """When recoverable flows exceed total spare, PM saturates it."""
+        instance = att_instance_5_13_20
+        assert len(instance.recoverable_flows) > instance.total_spare
+        evaluation = evaluate_solution(instance, solve_pm(instance))
+        assert sum(evaluation.controller_load.values()) == instance.total_spare
+
+    def test_strict_delay_variant_respects_g(self, att_instance_13_20):
+        instance = att_instance_13_20
+        evaluation = evaluate_solution(
+            instance, solve_pm(instance, enforce_delay=True), enforce_delay=True
+        )
+        assert evaluation.total_delay_ms <= instance.ideal_delay_ms + 1e-6
+
+    def test_strict_never_more_programmability(self, att_instance_13_20):
+        instance = att_instance_13_20
+        strict = evaluate_solution(instance, solve_pm(instance, enforce_delay=True))
+        loose = evaluate_solution(instance, solve_pm(instance))
+        assert strict.total_programmability <= loose.total_programmability
+
+    def test_deterministic(self, att_instance_13_20):
+        a = solve_pm(att_instance_13_20)
+        b = solve_pm(att_instance_13_20)
+        assert a.sdn_pairs == b.sdn_pairs and a.mapping == b.mapping
+
+    def test_runs_fast(self, att_instance_5_13_20):
+        solution = solve_pm(att_instance_5_13_20)
+        assert solution.solve_time_s < 1.0

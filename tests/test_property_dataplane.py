@@ -1,0 +1,73 @@
+"""Property-based tests for the data-plane simulator (hypothesis)."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.dataplane.forwarding import NetworkDataPlane
+from repro.dataplane.packet import Packet
+from repro.dataplane.switch import SwitchMode
+from repro.flows.demands import all_pairs_flows
+from repro.topology.generators import waxman_topology
+
+SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+topologies = st.builds(
+    waxman_topology,
+    n=st.integers(min_value=5, max_value=12),
+    alpha=st.just(0.7),
+    beta=st.just(0.4),
+    seed=st.integers(min_value=0, max_value=40),
+)
+
+
+class TestForwardingProperties:
+    @SETTINGS
+    @given(topologies)
+    def test_legacy_delivers_everything_shortest(self, topo):
+        """Empty flow tables: hybrid switches legacy-route every flow on a
+        hop-shortest path."""
+        plane = NetworkDataPlane(topo, mode=SwitchMode.HYBRID, legacy_weight="hops")
+        flows = all_pairs_flows(topo, weight="hops")
+        realized = plane.check_all_delivered(flows)
+        for flow in flows:
+            path = realized[flow.flow_id]
+            assert path[0] == flow.src and path[-1] == flow.dst
+            assert len(path) - 1 == flow.hop_count
+
+    @SETTINGS
+    @given(topologies)
+    def test_installed_paths_override_legacy(self, topo):
+        """Installing every flow's path yields exactly those paths."""
+        plane = NetworkDataPlane(topo, mode=SwitchMode.HYBRID, legacy_weight="hops")
+        flows = all_pairs_flows(topo, weight="hops")
+        for flow in flows:
+            plane.install_flow_path(flow)
+        for flow in flows:
+            assert plane.forward(Packet(*flow.flow_id)) == flow.path
+
+    @SETTINGS
+    @given(topologies, st.data())
+    def test_trace_is_simple_walk_over_links(self, topo, data):
+        plane = NetworkDataPlane(topo, mode=SwitchMode.HYBRID, legacy_weight="hops")
+        src = data.draw(st.sampled_from(topo.nodes))
+        dst = data.draw(st.sampled_from([n for n in topo.nodes if n != src]))
+        path = plane.forward(Packet(src, dst))
+        assert len(set(path)) == len(path)
+        for u, v in zip(path, path[1:]):
+            assert topo.has_edge(u, v)
+
+    @SETTINGS
+    @given(topologies)
+    def test_pure_legacy_mode_equivalent_to_hybrid_with_empty_tables(self, topo):
+        hybrid = NetworkDataPlane(topo, mode=SwitchMode.HYBRID, legacy_weight="hops")
+        legacy = NetworkDataPlane(topo, mode=SwitchMode.LEGACY, legacy_weight="hops")
+        for flow in all_pairs_flows(topo, weight="hops"):
+            a = hybrid.forward(Packet(*flow.flow_id))
+            b = legacy.forward(Packet(*flow.flow_id))
+            assert a == b

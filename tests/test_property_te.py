@@ -1,0 +1,108 @@
+"""Property-based tests for the traffic-engineering layer (hypothesis)."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.flows.demands import all_pairs_flows
+from repro.flows.flow import Flow
+from repro.te.capacity import link_loads, max_link_utilization, uniform_capacities
+from repro.te.engineer import TrafficEngineer
+from repro.topology.generators import waxman_topology
+
+SETTINGS = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def te_cases(draw):
+    n = draw(st.integers(min_value=6, max_value=12))
+    seed = draw(st.integers(min_value=0, max_value=25))
+    topology = waxman_topology(n, alpha=0.7, beta=0.4, seed=seed)
+    demand_seed = draw(st.integers(min_value=0, max_value=10))
+    import random
+
+    rng = random.Random(demand_seed)
+    flows = {}
+    for flow in all_pairs_flows(topology, weight="hops"):
+        flows[flow.flow_id] = Flow(
+            flow.src, flow.dst, flow.path, demand=float(rng.randint(1, 5))
+        )
+    capacity = draw(st.integers(min_value=30, max_value=120))
+    programmable = {
+        fid: frozenset(f.transit_switches) for fid, f in flows.items()
+    }
+    return topology, flows, uniform_capacities(topology, float(capacity)), programmable
+
+
+class TestTeProperties:
+    @SETTINGS
+    @given(te_cases())
+    def test_mlu_never_increases(self, case):
+        topology, flows, capacities, programmable = case
+        engineer = TrafficEngineer(topology, capacities)
+        result = engineer.relieve(flows, programmable, max_actions=15)
+        assert result.mlu_after <= result.mlu_before + 1e-9
+
+    @SETTINGS
+    @given(te_cases())
+    def test_flows_remain_valid(self, case):
+        topology, flows, capacities, programmable = case
+        engineer = TrafficEngineer(topology, capacities)
+        result = engineer.relieve(flows, programmable, max_actions=15)
+        assert set(result.flows) == set(flows)
+        for flow_id, flow in result.flows.items():
+            assert flow.flow_id == flow_id
+            assert flow.demand == flows[flow_id].demand  # demand conserved
+            for u, v in zip(flow.path, flow.path[1:]):
+                assert topology.has_edge(u, v)
+
+    @SETTINGS
+    @given(te_cases())
+    def test_deviations_only_at_programmable_switches(self, case):
+        topology, flows, capacities, programmable = case
+        engineer = TrafficEngineer(topology, capacities)
+        result = engineer.relieve(flows, programmable, max_actions=15)
+        for action in result.actions:
+            assert action.at_switch in programmable[action.flow_id]
+            # The path is unchanged up to the deviation switch.
+            idx = action.old_path.index(action.at_switch)
+            assert action.new_path[: idx + 1] == action.old_path[: idx + 1]
+
+    @SETTINGS
+    @given(te_cases())
+    def test_total_demand_conserved_per_flow_count(self, case):
+        topology, flows, capacities, programmable = case
+        engineer = TrafficEngineer(topology, capacities)
+        result = engineer.relieve(flows, programmable, max_actions=15)
+        before = sum(f.demand for f in flows.values())
+        after = sum(f.demand for f in result.flows.values())
+        assert after == before
+
+    @SETTINGS
+    @given(te_cases())
+    def test_pinned_network_is_identity(self, case):
+        topology, flows, capacities, _ = case
+        engineer = TrafficEngineer(topology, capacities)
+        result = engineer.relieve(flows, {}, max_actions=15)
+        assert result.flows == flows
+        assert result.mlu_after == result.mlu_before
+
+    @SETTINGS
+    @given(te_cases())
+    def test_loads_consistent_with_paths(self, case):
+        topology, flows, capacities, programmable = case
+        engineer = TrafficEngineer(topology, capacities)
+        result = engineer.relieve(flows, programmable, max_actions=10)
+        loads = link_loads(topology, result.flows.values())
+        recomputed = 0.0
+        for flow in result.flows.values():
+            recomputed += flow.demand * flow.hop_count
+        assert sum(loads.values()) == recomputed
+        assert max_link_utilization(
+            topology, result.flows.values(), capacities
+        ) == result.mlu_after

@@ -1,0 +1,66 @@
+"""Tests for legacy (OSPF-style) routing tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import RoutingError
+from repro.flows.demands import all_pairs_flows
+from repro.routing.ospf import compute_legacy_tables
+from repro.topology.generators import grid_topology
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return grid_topology(3, 3)
+
+
+@pytest.fixture(scope="module")
+def tables(grid):
+    return compute_legacy_tables(grid, weight="hops")
+
+
+class TestLegacyTables:
+    def test_every_switch_has_a_table(self, grid, tables):
+        assert set(tables) == set(grid.nodes)
+
+    def test_full_destination_coverage(self, grid, tables):
+        for node, table in tables.items():
+            assert len(table) == grid.n_nodes - 1
+            assert node not in table.destinations()
+
+    def test_next_hop_is_neighbor(self, grid, tables):
+        for node, table in tables.items():
+            for dst in table.destinations():
+                assert grid.has_edge(node, table.next_hop(dst))
+
+    def test_next_hops_decrease_hop_distance(self, grid, tables):
+        from repro.routing.shortest import hop_distances_to
+
+        for dst in grid.nodes:
+            dist = hop_distances_to(grid, dst)
+            for node, table in tables.items():
+                if node == dst:
+                    continue
+                assert dist[table.next_hop(dst)] == dist[node] - 1
+
+    def test_self_destination_rejected(self, tables):
+        with pytest.raises(RoutingError, match="itself"):
+            tables[0].next_hop(0)
+
+    def test_unknown_destination_rejected(self, tables):
+        with pytest.raises(RoutingError, match="no legacy route"):
+            tables[0].next_hop(99)
+
+    def test_hop_tables_follow_flow_paths(self, grid, tables):
+        """Legacy-mode flows stay on their original hop-shortest paths."""
+        for flow in all_pairs_flows(grid, weight="hops"):
+            node = flow.src
+            hops = 0
+            while node != flow.dst:
+                node = tables[node].next_hop(flow.dst)
+                hops += 1
+            assert hops == flow.hop_count
+
+    def test_repr(self, tables):
+        assert "LegacyRoutingTable" in repr(tables[0])

@@ -1,0 +1,81 @@
+"""Tests for shortest-path helpers and the shortest-path DAG."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import RoutingError
+from repro.routing.shortest import (
+    delay_distances_to,
+    hop_distances_to,
+    shortest_path_dag,
+    weight_attribute,
+)
+from repro.topology.generators import grid_topology
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return grid_topology(3, 3)
+
+
+class TestWeightAttribute:
+    def test_known_metrics(self):
+        assert weight_attribute("delay") == "delay_ms"
+        assert weight_attribute("distance") == "distance_m"
+        assert weight_attribute("hops") is None
+
+    def test_unknown_metric(self):
+        with pytest.raises(RoutingError, match="unknown weight"):
+            weight_attribute("latency")
+
+
+class TestDistances:
+    def test_hop_distances(self, grid):
+        dist = hop_distances_to(grid, 0)
+        assert dist[0] == 0
+        assert dist[8] == 4
+        assert dist[4] == 2
+
+    def test_delay_distances_monotone_with_hops(self, grid):
+        hops = hop_distances_to(grid, 0)
+        delays = delay_distances_to(grid, 0)
+        assert delays[0] == 0
+        # On a uniform grid more hops means more delay.
+        assert delays[8] > delays[1]
+        assert set(hops) == set(delays)
+
+    def test_unknown_destination(self, grid):
+        with pytest.raises(RoutingError):
+            hop_distances_to(grid, 99)
+        with pytest.raises(RoutingError):
+            delay_distances_to(grid, 99)
+
+
+class TestShortestPathDag:
+    def test_hops_dag_on_grid(self, grid):
+        # Toward corner 8, the opposite corner 0 has two equally short
+        # next hops (right and down).
+        dag = shortest_path_dag(grid, 8, weight="hops")
+        assert set(dag[0]) == {1, 3}
+
+    def test_dag_excludes_destination_key(self, grid):
+        dag = shortest_path_dag(grid, 8, weight="hops")
+        assert 8 not in dag
+
+    def test_every_node_has_a_successor(self, grid):
+        dag = shortest_path_dag(grid, 4, weight="hops")
+        assert all(dag[n] for n in dag)
+
+    def test_successors_reduce_distance(self, grid):
+        dist = hop_distances_to(grid, 8)
+        dag = shortest_path_dag(grid, 8, weight="hops")
+        for node, successors in dag.items():
+            for nxt in successors:
+                assert dist[nxt] == dist[node] - 1
+
+    def test_delay_dag_is_subset_of_neighbors(self, grid):
+        dag = shortest_path_dag(grid, 8, weight="delay")
+        for node, successors in dag.items():
+            for nxt in successors:
+                assert grid.has_edge(node, nxt)

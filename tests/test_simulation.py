@@ -1,0 +1,174 @@
+"""Tests for the discrete-event engine and the recovery timeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.fmssm.solution import RecoverySolution
+from repro.simulation.engine import SimulationError, Simulator
+from repro.simulation.timeline import (
+    TimelineParameters,
+    simulate_recovery_timeline,
+)
+from conftest import make_tiny_instance
+
+
+class TestSimulator:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(5.0, lambda: log.append("b"))
+        sim.schedule(1.0, lambda: log.append("a"))
+        sim.schedule(9.0, lambda: log.append("c"))
+        end = sim.run()
+        assert log == ["a", "b", "c"]
+        assert end == 9.0
+
+    def test_fifo_among_ties(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: log.append(1))
+        sim.schedule(1.0, lambda: log.append(2))
+        sim.run()
+        assert log == [1, 2]
+
+    def test_actions_may_schedule_more(self):
+        sim = Simulator()
+        log = []
+
+        def first():
+            log.append(sim.now)
+            sim.schedule(2.0, lambda: log.append(sim.now))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert log == [1.0, 3.0]
+
+    def test_run_until_stops_early(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: log.append("early"))
+        sim.schedule(10.0, lambda: log.append("late"))
+        end = sim.run(until_ms=5.0)
+        assert log == ["early"]
+        assert end == 5.0
+        assert sim.pending_events == 1
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_before_now_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def rearm():
+            sim.schedule(1.0, rearm)
+
+        sim.schedule(1.0, rearm)
+        with pytest.raises(SimulationError, match="max_events"):
+            sim.run(max_events=100)
+
+    def test_processed_counter(self):
+        sim = Simulator()
+        for _ in range(4):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.processed_events == 4
+
+
+class TestTimelineParameters:
+    def test_negative_rejected(self):
+        with pytest.raises(ReproError):
+            TimelineParameters(detection_delay_ms=-1.0)
+        with pytest.raises(ReproError):
+            TimelineParameters(middle_layer_ms=-0.1)
+
+
+class TestRecoveryTimeline:
+    def solution(self) -> RecoverySolution:
+        return RecoverySolution(
+            algorithm="test",
+            mapping={1: 100, 2: 200},
+            sdn_pairs={(1, (10, 11)), (1, (10, 12)), (2, (11, 12))},
+            solve_time_s=0.002,
+        )
+
+    def test_computation_after_detection(self, tiny_instance):
+        report = simulate_recovery_timeline(tiny_instance, self.solution())
+        assert report.computation_done_ms == pytest.approx(100.0 + 2.0)
+
+    def test_computation_override(self, tiny_instance):
+        params = TimelineParameters(computation_ms=50.0)
+        report = simulate_recovery_timeline(tiny_instance, self.solution(), params)
+        assert report.computation_done_ms == pytest.approx(150.0)
+
+    def test_handover_costs_one_rtt(self, tiny_instance):
+        params = TimelineParameters(computation_ms=0.0)
+        report = simulate_recovery_timeline(tiny_instance, self.solution(), params)
+        # Switch 1 -> controller 100 with D = 1.0ms: online after 2ms RTT.
+        assert report.switch_online_ms[1] == pytest.approx(100.0 + 2.0)
+        # Switch 2 -> controller 200 with D = 2.0ms.
+        assert report.switch_online_ms[2] == pytest.approx(100.0 + 4.0)
+
+    def test_flows_recover_after_all_pairs(self, tiny_instance):
+        report = simulate_recovery_timeline(tiny_instance, self.solution())
+        assert set(report.flow_recovered_ms) == {(10, 11), (10, 12), (11, 12)}
+        # Installs are sequential per controller, so the second rule at
+        # controller 100 lands after the first.
+        assert (
+            report.flow_recovered_ms[(10, 12)]
+            > report.flow_recovered_ms[(10, 11)]
+        )
+
+    def test_middle_layer_slows_installation(self, tiny_instance):
+        fast = simulate_recovery_timeline(
+            tiny_instance, self.solution(), TimelineParameters(computation_ms=0.0)
+        )
+        slow = simulate_recovery_timeline(
+            tiny_instance,
+            self.solution(),
+            TimelineParameters(computation_ms=0.0, middle_layer_ms=0.48),
+        )
+        assert slow.mean_flow_recovery_ms > fast.mean_flow_recovery_ms
+        assert slow.completed_ms > fast.completed_ms
+
+    def test_aggregates_ordered(self, tiny_instance):
+        report = simulate_recovery_timeline(tiny_instance, self.solution())
+        assert (
+            report.mean_flow_recovery_ms
+            <= report.p95_flow_recovery_ms
+            <= report.max_flow_recovery_ms
+            <= report.completed_ms
+        )
+
+    def test_infeasible_solution_rejected(self, tiny_instance):
+        with pytest.raises(ReproError):
+            simulate_recovery_timeline(
+                tiny_instance, RecoverySolution(algorithm="x", feasible=False)
+            )
+
+    def test_empty_solution_finishes_at_computation(self, tiny_instance):
+        report = simulate_recovery_timeline(
+            tiny_instance, RecoverySolution(algorithm="noop", solve_time_s=0.0)
+        )
+        assert report.flow_recovered_ms == {}
+        assert report.completed_ms == pytest.approx(100.0)
+
+    def test_pm_timeline_on_att(self, att_instance_13_20):
+        from repro.pm import solve_pm
+
+        solution = solve_pm(att_instance_13_20)
+        report = simulate_recovery_timeline(att_instance_13_20, solution)
+        assert len(report.flow_recovered_ms) > 300
+        # Every recovered flow comes back within seconds.
+        assert report.max_flow_recovery_ms < 10_000.0
+        assert report.mean_flow_recovery_ms > report.computation_done_ms

@@ -1,0 +1,224 @@
+"""Tests for the traffic-engineering layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.control.failures import FailureScenario
+from repro.exceptions import TopologyError
+from repro.flows.demands import all_pairs_flows
+from repro.flows.flow import Flow
+from repro.fmssm.solution import RecoverySolution
+from repro.te.capacity import (
+    betweenness_capacities,
+    link_loads,
+    link_utilization,
+    max_link_utilization,
+    uniform_capacities,
+)
+from repro.te.engineer import TrafficEngineer
+from repro.te.recovered import controllable_nodes, programmable_switches
+from repro.topology.generators import grid_topology
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return grid_topology(3, 3)
+
+
+class TestCapacities:
+    def test_uniform(self, grid):
+        caps = uniform_capacities(grid, 10.0)
+        assert set(caps) == set(grid.edges())
+        assert all(v == 10.0 for v in caps.values())
+
+    def test_uniform_rejects_nonpositive(self, grid):
+        with pytest.raises(TopologyError):
+            uniform_capacities(grid, 0.0)
+
+    def test_betweenness_core_links_fatter(self, att):
+        caps = betweenness_capacities(att, base=10.0, scale=4.0)
+        assert set(caps) == set(att.edges())
+        assert max(caps.values()) > min(caps.values())
+        assert min(caps.values()) >= 10.0
+        assert max(caps.values()) <= 50.0 + 1e-9
+
+    def test_betweenness_rejects_bad_params(self, att):
+        with pytest.raises(TopologyError):
+            betweenness_capacities(att, base=0.0)
+        with pytest.raises(TopologyError):
+            betweenness_capacities(att, base=1.0, scale=-1.0)
+
+
+class TestLoads:
+    def test_link_loads_sum_demand(self, grid):
+        flows = [Flow(0, 2, (0, 1, 2), demand=2.0), Flow(2, 0, (2, 1, 0), demand=3.0)]
+        loads = link_loads(grid, flows)
+        assert loads[(0, 1)] == 5.0
+        assert loads[(1, 2)] == 5.0
+
+    def test_unused_links_zero(self, grid):
+        flows = [Flow(0, 1, (0, 1))]
+        loads = link_loads(grid, flows)
+        assert loads[(0, 1)] == 1.0
+        assert loads[(7, 8)] == 0.0
+
+    def test_utilization_divides_by_capacity(self, grid):
+        flows = [Flow(0, 1, (0, 1), demand=5.0)]
+        caps = uniform_capacities(grid, 10.0)
+        utilization = link_utilization(grid, flows, caps)
+        assert utilization[(0, 1)] == 0.5
+
+    def test_mlu_is_max(self, grid):
+        flows = [
+            Flow(0, 1, (0, 1), demand=5.0),
+            Flow(1, 2, (1, 2), demand=9.0),
+        ]
+        caps = uniform_capacities(grid, 10.0)
+        assert max_link_utilization(grid, flows, caps) == 0.9
+
+    def test_missing_capacity_rejected(self, grid):
+        flows = [Flow(0, 1, (0, 1))]
+        with pytest.raises(TopologyError):
+            link_utilization(grid, flows, {})
+
+
+class TestTrafficEngineer:
+    def test_relieves_hot_link_when_programmable(self, grid):
+        # Two unit flows share (0, 1); one can deviate at node 0.
+        flows = {
+            (0, 2): Flow(0, 2, (0, 1, 2), demand=4.0),
+            (0, 5): Flow(0, 5, (0, 1, 2, 5), demand=4.0),
+        }
+        caps = uniform_capacities(grid, 10.0)
+        engineer = TrafficEngineer(grid, caps)
+        result = engineer.relieve(flows, {(0, 5): {0}})
+        assert result.mlu_before == 0.8
+        assert result.mlu_after < 0.8
+        assert result.actions
+        moved = result.flows[(0, 5)]
+        assert moved.path[0:2] != (0, 1)
+
+    def test_pinned_flows_stay(self, grid):
+        flows = {
+            (0, 2): Flow(0, 2, (0, 1, 2), demand=4.0),
+            (0, 5): Flow(0, 5, (0, 1, 2, 5), demand=4.0),
+        }
+        caps = uniform_capacities(grid, 10.0)
+        result = TrafficEngineer(grid, caps).relieve(flows, {})
+        assert result.mlu_after == result.mlu_before
+        assert not result.actions
+        assert result.flows == flows
+
+    def test_allowed_nodes_constrain_suffixes(self, grid):
+        flows = {
+            (0, 2): Flow(0, 2, (0, 1, 2), demand=4.0),
+            (0, 5): Flow(0, 5, (0, 1, 2, 5), demand=4.0),
+        }
+        caps = uniform_capacities(grid, 10.0)
+        # Only the original path's nodes are controllable: no detour exists.
+        engineer = TrafficEngineer(grid, caps, allowed_nodes=frozenset({0, 1, 2, 5}))
+        result = engineer.relieve(flows, {(0, 5): {0}})
+        assert not result.actions
+
+    def test_new_paths_are_valid_flows(self, grid):
+        flows = {
+            f.flow_id: Flow(f.src, f.dst, f.path, demand=2.0)
+            for f in all_pairs_flows(grid, weight="hops")
+        }
+        caps = uniform_capacities(grid, 30.0)
+        programmable = {fid: set(f.transit_switches) for fid, f in flows.items()}
+        result = TrafficEngineer(grid, caps).relieve(flows, programmable, max_actions=20)
+        for flow in result.flows.values():
+            # Flow construction itself validates simplicity/endpoints;
+            # also check links exist.
+            for u, v in zip(flow.path, flow.path[1:]):
+                assert grid.has_edge(u, v)
+        assert result.mlu_after <= result.mlu_before
+
+    def test_negative_max_actions_rejected(self, grid):
+        from repro.exceptions import RoutingError
+
+        caps = uniform_capacities(grid, 10.0)
+        with pytest.raises(RoutingError):
+            TrafficEngineer(grid, caps).relieve({}, {}, max_actions=-1)
+
+
+class TestRecoveredBridge:
+    def test_programmable_switches_online_always(self, att_context, att_instance_13_20):
+        solution = RecoverySolution(algorithm="none")  # nothing recovered
+        programmable = programmable_switches(
+            att_instance_13_20, solution, att_context.flows
+        )
+        offline = set(att_instance_13_20.switches)
+        for flow in att_context.flows:
+            assert programmable[flow.flow_id] == frozenset(
+                s for s in flow.transit_switches if s not in offline
+            )
+
+    def test_sdn_pairs_add_offline_programmability(self, att_context, att_instance_13_20):
+        from repro.pm import solve_pm
+
+        solution = solve_pm(att_instance_13_20)
+        programmable = programmable_switches(
+            att_instance_13_20, solution, att_context.flows
+        )
+        offline = set(att_instance_13_20.switches)
+        gained = sum(
+            1
+            for flow in att_context.flows
+            for s in programmable[flow.flow_id]
+            if s in offline
+        )
+        assert gained == len(solution.active_pairs())
+
+    def test_controllable_nodes_variants(self, att_context, att_instance_13_20):
+        from repro.baselines.pg import solve_pg
+        from repro.pm import solve_pm
+
+        scenario = FailureScenario(frozenset({13, 20}))
+        offline = set(scenario.offline_switches(att_context.plane))
+        online = set(att_context.topology.nodes) - offline
+
+        nothing = controllable_nodes(
+            att_context.plane, scenario, RecoverySolution(algorithm="none")
+        )
+        assert set(nothing) == online
+
+        pm_nodes = controllable_nodes(
+            att_context.plane, scenario, solve_pm(att_instance_13_20)
+        )
+        assert online < set(pm_nodes)
+
+        pg_nodes = controllable_nodes(
+            att_context.plane, scenario, solve_pg(att_instance_13_20)
+        )
+        # PG reconnects switches through the middle layer despite having
+        # no switch-controller mapping.
+        assert online < set(pg_nodes)
+
+
+class TestRecoveryImprovesTE:
+    def test_recovered_network_relieves_surge_better(self, att_context):
+        """The application-level payoff: PM-recovered programmability
+        relieves a traffic surge that an unrecovered network cannot."""
+        from repro.pm import solve_pm
+
+        scenario = FailureScenario(frozenset({13, 20}))
+        instance = att_context.instance(scenario)
+        surged = {
+            f.flow_id: Flow(f.src, f.dst, f.path, demand=3.0 if 13 in f.path else 1.0)
+            for f in att_context.flows
+        }
+        caps = betweenness_capacities(att_context.topology, base=60.0, scale=4.0)
+
+        def relieve(solution):
+            programmable = programmable_switches(instance, solution, surged.values())
+            nodes = controllable_nodes(att_context.plane, scenario, solution)
+            engineer = TrafficEngineer(att_context.topology, caps, allowed_nodes=nodes)
+            return engineer.relieve(surged, programmable, max_actions=40)
+
+        unrecovered = relieve(RecoverySolution(algorithm="none"))
+        recovered = relieve(solve_pm(instance))
+        assert recovered.mlu_after < unrecovered.mlu_after
+        assert len(recovered.actions) > len(unrecovered.actions)

@@ -1,0 +1,105 @@
+"""Tests for the embedded ATT topology and its Table III layout."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.flows.demands import all_pairs_flows
+from repro.flows.paths import switch_flow_counts
+from repro.topology.att import (
+    ATT_CONTROLLER_SITES,
+    ATT_DEFAULT_CAPACITY,
+    ATT_DOMAINS,
+    ATT_EDGES,
+    ATT_NODES,
+    att_topology,
+)
+from repro.topology.partition import validate_partition
+
+
+class TestAttShape:
+    def test_paper_node_and_link_counts(self, att):
+        # "25 nodes and 112 links" — Topology Zoo counts directionally.
+        assert att.n_nodes == 25
+        assert att.n_directed_links == 112
+
+    def test_node_ids_contiguous(self, att):
+        assert att.nodes == tuple(range(25))
+
+    def test_min_degree_two(self, att):
+        # A backbone has no stub nodes; degree-2 nodes bound the least
+        # programmability to 2 (the paper's observation).
+        assert min(att.degree(n) for n in att.nodes) == 2
+
+    def test_dallas_is_highest_degree_hub(self, att):
+        degrees = {n: att.degree(n) for n in att.nodes}
+        assert max(degrees, key=degrees.get) == 13
+        assert att.label(13) == "Dallas"
+
+    def test_every_node_has_unique_city(self, att):
+        labels = [att.label(n) for n in att.nodes]
+        assert len(set(labels)) == 25
+
+    def test_edges_match_constant(self, att):
+        expected = {(min(u, v), max(u, v)) for u, v in ATT_EDGES}
+        assert set(att.edges()) == expected
+
+    def test_coordinates_inside_contiguous_us(self, att):
+        for node in att.nodes:
+            point = att.geo(node)
+            assert 24.0 <= point.latitude <= 50.0
+            assert -125.0 <= point.longitude <= -66.0
+
+
+class TestTableIIILayout:
+    def test_domains_partition_nodes(self, att):
+        validate_partition(att, ATT_DOMAINS)
+
+    def test_six_controllers_at_paper_sites(self):
+        assert ATT_CONTROLLER_SITES == (2, 5, 6, 13, 20, 22)
+        assert set(ATT_DOMAINS) == set(ATT_CONTROLLER_SITES)
+
+    def test_controller_site_inside_own_domain(self):
+        for controller, members in ATT_DOMAINS.items():
+            assert controller in members
+
+    def test_paper_capacity(self):
+        assert ATT_DEFAULT_CAPACITY == 500
+
+    def test_domain_sizes_match_paper(self):
+        sizes = {c: len(m) for c, m in ATT_DOMAINS.items()}
+        assert sizes == {2: 4, 5: 4, 6: 4, 13: 4, 20: 3, 22: 6}
+
+
+class TestRegeneratedWorkload:
+    """The hop-count all-pairs workload reproduces Table III's shape."""
+
+    @pytest.fixture(scope="class")
+    def gamma(self, att):
+        flows = all_pairs_flows(att, weight="hops")
+        return switch_flow_counts(flows)
+
+    def test_total_close_to_paper(self, gamma):
+        # Paper total: 2055.  Shape tolerance: within 5 %.
+        assert sum(gamma.values()) == pytest.approx(2055, rel=0.05)
+
+    def test_switch13_is_the_flow_hub(self, gamma):
+        assert max(gamma, key=gamma.get) == 13
+
+    def test_leaf_switches_near_paper_minimum(self, gamma):
+        # Paper minimum is 49 (several leaf switches); ours is 48 — every
+        # node terminates 24 flows and originates 24.
+        assert min(gamma.values()) == 48
+
+    def test_every_domain_fits_capacity(self, att, gamma):
+        for members in ATT_DOMAINS.values():
+            load = sum(gamma[s] for s in members)
+            assert load < ATT_DEFAULT_CAPACITY
+
+    def test_all_25_switches_loaded(self, gamma):
+        assert set(gamma) == set(range(25))
+
+    def test_nodes_constant_consistency(self):
+        assert set(ATT_NODES) == set(range(25))
+        for _, lat, lon in ATT_NODES.values():
+            assert 24.0 <= lat <= 50.0

@@ -1,0 +1,61 @@
+"""Tests for the GML writer and the data/att.gml asset."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.topology.gml_writer import save_gml, to_gml
+from repro.topology.generators import grid_topology
+from repro.topology.zoo import loads_zoo_topology
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+class TestRoundTrip:
+    def test_att_round_trips(self, att):
+        loaded = loads_zoo_topology(to_gml(att))
+        assert loaded.name == att.name
+        assert loaded.nodes == att.nodes
+        assert loaded.edges() == att.edges()
+        for node in att.nodes:
+            assert loaded.label(node) == att.label(node)
+            assert loaded.geo(node).latitude == pytest.approx(att.geo(node).latitude)
+            assert loaded.geo(node).longitude == pytest.approx(att.geo(node).longitude)
+
+    def test_grid_round_trips(self):
+        grid = grid_topology(3, 4)
+        loaded = loads_zoo_topology(to_gml(grid))
+        assert loaded.n_nodes == 12
+        assert loaded.edges() == grid.edges()
+
+    def test_labels_with_quotes_escaped(self, att):
+        from repro.geo import GeoPoint
+        from repro.topology.graph import Topology
+
+        topo = Topology(
+            'weird "name"',
+            {0: ('node "a"', GeoPoint(1, 2)), 1: ("b", GeoPoint(3, 4))},
+            [(0, 1)],
+        )
+        loaded = loads_zoo_topology(to_gml(topo))
+        assert loaded.name == 'weird "name"'
+        assert loaded.label(0) == 'node "a"'
+
+    def test_save_to_disk(self, att, tmp_path):
+        path = tmp_path / "att.gml"
+        save_gml(att, path)
+        loaded = loads_zoo_topology(path.read_text())
+        assert loaded.n_nodes == 25
+
+
+class TestDataAsset:
+    def test_shipped_att_gml_matches_embedded(self, att):
+        """data/att.gml is the canonical file form of the embedded ATT."""
+        asset = REPO_ROOT / "data" / "att.gml"
+        assert asset.exists(), "data/att.gml asset missing"
+        loaded = loads_zoo_topology(asset.read_text())
+        assert loaded.nodes == att.nodes
+        assert loaded.edges() == att.edges()
+        assert loaded.label(13) == "Dallas"

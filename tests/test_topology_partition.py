@@ -1,0 +1,97 @@
+"""Tests for domain partitioning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.topology.generators import grid_topology, ring_topology
+from repro.topology.partition import (
+    balanced_partition,
+    nearest_site_partition,
+    validate_partition,
+)
+
+
+class TestValidatePartition:
+    def test_valid_partition_passes(self, att):
+        from repro.topology.att import ATT_DOMAINS
+
+        validate_partition(att, ATT_DOMAINS)
+
+    def test_missing_node_detected(self, att):
+        domains = {2: tuple(range(24))}  # node 24 missing
+        with pytest.raises(TopologyError, match="not covered"):
+            validate_partition(att, domains)
+
+    def test_double_assignment_detected(self, att):
+        domains = {2: tuple(range(25)), 5: (0,)}
+        with pytest.raises(TopologyError, match="appears in domains"):
+            validate_partition(att, domains)
+
+    def test_unknown_node_detected(self, att):
+        domains = {2: tuple(range(25)) + (99,)}
+        with pytest.raises(TopologyError, match="unknown node"):
+            validate_partition(att, domains)
+
+    def test_empty_domain_detected(self, att):
+        domains = {2: tuple(range(25)), 5: ()}
+        with pytest.raises(TopologyError, match="empty domain"):
+            validate_partition(att, domains)
+
+
+class TestNearestSitePartition:
+    def test_covers_all_nodes(self):
+        topo = grid_topology(4, 5)
+        domains = nearest_site_partition(topo, (0, 19))
+        assert sum(len(m) for m in domains.values()) == topo.n_nodes
+
+    def test_sites_own_themselves(self):
+        topo = grid_topology(4, 5)
+        domains = nearest_site_partition(topo, (0, 19))
+        assert 0 in domains[0]
+        assert 19 in domains[19]
+
+    def test_geographic_coherence(self):
+        # On a grid, the two corners split the grid into halves.
+        topo = grid_topology(3, 6)
+        domains = nearest_site_partition(topo, (0, 17))
+        assert abs(len(domains[0]) - len(domains[17])) <= 4
+
+    def test_duplicate_sites_rejected(self):
+        topo = grid_topology(2, 3)
+        with pytest.raises(TopologyError, match="duplicate"):
+            nearest_site_partition(topo, (0, 0))
+
+    def test_unknown_site_rejected(self):
+        topo = grid_topology(2, 3)
+        with pytest.raises(TopologyError, match="not a topology node"):
+            nearest_site_partition(topo, (0, 99))
+
+    def test_no_sites_rejected(self):
+        topo = grid_topology(2, 3)
+        with pytest.raises(TopologyError):
+            nearest_site_partition(topo, ())
+
+
+class TestBalancedPartition:
+    def test_respects_cap(self):
+        topo = ring_topology(12, seed=1)
+        domains = balanced_partition(topo, (0, 6), max_domain_size=6)
+        assert all(len(m) <= 6 for m in domains.values())
+        validate_partition(topo, domains)
+
+    def test_default_cap_allows_imbalance_of_one(self):
+        topo = ring_topology(10, seed=2)
+        domains = balanced_partition(topo, (0, 5))
+        assert all(len(m) <= 6 for m in domains.values())
+
+    def test_cap_too_small_rejected(self):
+        topo = ring_topology(10, seed=1)
+        with pytest.raises(TopologyError, match="cannot hold"):
+            balanced_partition(topo, (0, 5), max_domain_size=4)
+
+    def test_duplicate_sites_rejected(self):
+        topo = ring_topology(6, seed=1)
+        with pytest.raises(TopologyError, match="duplicate"):
+            balanced_partition(topo, (0, 0))

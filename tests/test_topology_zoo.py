@@ -1,0 +1,132 @@
+"""Tests for the Topology Zoo GML parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ParseError
+from repro.topology.zoo import loads_zoo_topology, parse_gml
+
+SAMPLE = """
+# A comment
+graph [
+  Network "TestNet"
+  node [
+    id 0
+    label "Alpha"
+    Latitude 40.0
+    Longitude -74.0
+  ]
+  node [
+    id 1
+    label "Beta"
+    Latitude 41.0
+    Longitude -75.0
+  ]
+  node [
+    id 2
+    label "Gamma"
+    Latitude 42.5
+    Longitude -76.25
+  ]
+  edge [ source 0 target 1 ]
+  edge [ source 1 target 2 ]
+  edge [ source 0 target 2 ]
+]
+"""
+
+
+class TestParseGml:
+    def test_nested_records(self):
+        root = parse_gml(SAMPLE)
+        graph = root.get("graph")
+        assert graph is not None
+        assert graph.get("Network") == "TestNet"
+        assert len(graph.get_all("node")) == 3
+        assert len(graph.get_all("edge")) == 3
+
+    def test_numbers_parsed_as_numbers(self):
+        root = parse_gml(SAMPLE)
+        node = root.get("graph").get_all("node")[0]
+        assert node.get("id") == 0
+        assert node.get("Latitude") == pytest.approx(40.0)
+
+    def test_string_escapes(self):
+        root = parse_gml('graph [ label "a \\"quoted\\" name" ]')
+        assert root.get("graph").get("label") == 'a "quoted" name'
+
+    def test_garbage_raises(self):
+        with pytest.raises(ParseError):
+            parse_gml("graph [ node ] extra ]]")
+
+    def test_dangling_key_raises(self):
+        with pytest.raises(ParseError, match="dangling"):
+            parse_gml("graph [ id ]" .replace("]", ""))
+
+    def test_contains(self):
+        root = parse_gml(SAMPLE)
+        assert "graph" in root
+        assert "nonexistent" not in root
+
+
+class TestLoadsZooTopology:
+    def test_full_topology(self):
+        topo = loads_zoo_topology(SAMPLE)
+        assert topo.name == "TestNet"
+        assert topo.n_nodes == 3
+        assert topo.n_links == 3
+        assert topo.label(0) == "Alpha"
+
+    def test_name_override(self):
+        topo = loads_zoo_topology(SAMPLE, name="custom")
+        assert topo.name == "custom"
+
+    def test_missing_geo_dropped(self):
+        text = SAMPLE.replace("    Latitude 42.5\n    Longitude -76.25\n", "")
+        topo = loads_zoo_topology(text)
+        assert topo.n_nodes == 2
+        assert topo.n_links == 1  # edges touching the dropped node removed
+
+    def test_missing_geo_error_mode(self):
+        text = SAMPLE.replace("    Latitude 42.5\n    Longitude -76.25\n", "")
+        with pytest.raises(ParseError, match="Latitude"):
+            loads_zoo_topology(text, on_missing_geo="error")
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError, match="on_missing_geo"):
+            loads_zoo_topology(SAMPLE, on_missing_geo="ignore")
+
+    def test_self_loop_edges_skipped(self):
+        text = SAMPLE.replace(
+            "edge [ source 0 target 1 ]",
+            "edge [ source 0 target 0 ]\n  edge [ source 0 target 1 ]",
+        )
+        topo = loads_zoo_topology(text)
+        assert topo.n_links == 3
+
+    def test_duplicate_edges_deduplicated(self):
+        text = SAMPLE + ""  # duplicate an edge inside the graph record
+        text = text.replace(
+            "edge [ source 0 target 1 ]",
+            "edge [ source 0 target 1 ]\n  edge [ source 1 target 0 ]",
+        )
+        topo = loads_zoo_topology(text)
+        assert topo.n_links == 3
+
+    def test_edge_to_unknown_node_raises(self):
+        text = SAMPLE.replace(
+            "edge [ source 0 target 2 ]", "edge [ source 0 target 9 ]"
+        )
+        with pytest.raises(ParseError, match="unknown node"):
+            loads_zoo_topology(text)
+
+    def test_no_graph_record_raises(self):
+        with pytest.raises(ParseError, match="graph"):
+            loads_zoo_topology("node [ id 0 ]")
+
+    def test_load_from_disk(self, tmp_path):
+        from repro.topology.zoo import load_zoo_topology
+
+        path = tmp_path / "net.gml"
+        path.write_text(SAMPLE, encoding="utf-8")
+        assert load_zoo_topology(path).n_nodes == 3
