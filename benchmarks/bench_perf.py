@@ -1,0 +1,105 @@
+"""Quick perf headline: table build, parallel sweep, PM hot loop.
+
+Unlike the figure benchmarks this file never touches the exact solver, so
+it runs in seconds — CI uses it as the quick-bench smoke job that keeps
+``BENCH_headline.json`` fresh and well-formed.  Three stages are timed:
+
+* ``table_build_s`` — materializing the shared coefficient table
+  (recorded by the session ``context`` fixture),
+* ``sweep_serial_s`` / ``sweep_parallel_s`` — the heuristic-only
+  one-failure sweep, serial versus process-pool,
+* ``pm_n40_s`` / ``pm_n40_stress_s`` — the PM hot loop on the n=40
+  Waxman WAN from ``bench_scalability.py`` (single failure, and the
+  3-of-5 controller stress case where phase 1 dominates).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from conftest import record_stage, record_sweep
+from repro.control.failures import FailureScenario
+from repro.experiments.report import render_table
+from repro.experiments.runner import run_failure_sweep, run_failure_sweep_parallel
+from repro.pm.algorithm import solve_pm
+
+#: The heuristics only — keeps the smoke job free of MILP solve time.
+FAST_ALGORITHMS = ("pm", "retroflow", "pg", "nearest")
+
+
+def assert_sweeps_identical(serial, parallel) -> None:
+    """Byte-identical results modulo ``solve_time_s`` wall clocks."""
+    assert [r.name for r in serial] == [r.name for r in parallel]
+    for s, p in zip(serial, parallel):
+        assert list(s.solutions) == list(p.solutions)
+        for algorithm in s.solutions:
+            ss, ps = s.solutions[algorithm], p.solutions[algorithm]
+            assert ss.mapping == ps.mapping
+            assert ss.sdn_pairs == ps.sdn_pairs
+            assert ss.pair_controller == ps.pair_controller
+            assert ss.load_override == ps.load_override
+            assert ss.feasible == ps.feasible
+            se, pe = s.evaluations[algorithm], p.evaluations[algorithm]
+            assert se.programmability == pe.programmability
+            assert se.least_programmability == pe.least_programmability
+            assert se.total_programmability == pe.total_programmability
+            assert se.controller_load == pe.controller_load
+            assert se.total_delay_ms == pe.total_delay_ms
+
+
+def test_parallel_sweep_headline(context, capsys):
+    """Serial vs parallel heuristic sweep: identical output, timed stages."""
+    start = time.perf_counter()
+    serial = run_failure_sweep(context, 1, FAST_ALGORITHMS)
+    serial_s = time.perf_counter() - start
+    record_sweep("sweep_serial_s", serial_s, serial)
+
+    start = time.perf_counter()
+    parallel = run_failure_sweep_parallel(context, 1, FAST_ALGORITHMS, max_workers=4)
+    parallel_s = time.perf_counter() - start
+    record_stage("sweep_parallel_s", parallel_s)
+
+    assert_sweeps_identical(serial, parallel)
+    with capsys.disabled():
+        print()
+        print("=== Parallel failure sweep (heuristics only, 1 failure) ===")
+        print(
+            render_table(
+                ("mode", "wall (s)"),
+                [("serial", f"{serial_s:.3f}"), ("parallel x4", f"{parallel_s:.3f}")],
+            )
+        )
+
+
+@pytest.fixture(scope="module")
+def waxman40_context():
+    from bench_scalability import _context_for
+
+    return _context_for(40)
+
+
+def test_pm_hot_loop_n40(waxman40_context, capsys):
+    """PM stays in single-digit milliseconds on the n=40 Waxman WAN."""
+    ids = waxman40_context.plane.controller_ids
+    rows = []
+    for stage, failed in (
+        ("pm_n40_s", frozenset({ids[0]})),
+        ("pm_n40_stress_s", frozenset(ids[:3])),
+    ):
+        instance = waxman40_context.instance(FailureScenario(failed))
+        best = float("inf")
+        solution = None
+        for _ in range(5):
+            start = time.perf_counter()
+            solution = solve_pm(instance)
+            best = min(best, time.perf_counter() - start)
+        record_stage(stage, best)
+        rows.append((stage, len(instance.switches), len(instance.pairs), f"{1000 * best:.2f}"))
+        assert solution is not None and solution.feasible
+        assert best < 1.0
+    with capsys.disabled():
+        print()
+        print("=== PM hot loop on n=40 Waxman ===")
+        print(render_table(("stage", "offline switches", "pairs", "best (ms)"), rows))

@@ -16,28 +16,25 @@ import pytest
 from repro.control.failures import FailureScenario
 from repro.experiments.report import render_table
 from repro.experiments.scenarios import custom_context
+from repro.flows.demands import all_pairs_flows
+from repro.flows.paths import switch_flow_counts
 from repro.fmssm.optimal import solve_optimal
 from repro.pm.algorithm import solve_pm
+from repro.topology.generators import waxman_topology
+from repro.topology.partition import nearest_site_partition
 
 SIZES = (10, 20, 30, 40)
 
 
 def _context_for(n: int):
-    topology = __import__("repro.topology.generators", fromlist=["waxman_topology"]).waxman_topology(
-        n, alpha=0.6, beta=0.35, seed=1
-    )
+    topology = waxman_topology(n, alpha=0.6, beta=0.35, seed=1)
     sites = topology.nodes[: max(3, n // 8)]
     # Capacity sized to baseline load + WAN-like slack.
-    from repro.flows.demands import all_pairs_flows
-    from repro.flows.paths import switch_flow_counts
-
     flows = all_pairs_flows(topology, weight="hops")
     gamma = switch_flow_counts(flows)
     worst = max(
         sum(gamma[s] for s in members)
-        for members in __import__(
-            "repro.topology.partition", fromlist=["nearest_site_partition"]
-        ).nearest_site_partition(topology, sites).values()
+        for members in nearest_site_partition(topology, sites).values()
     )
     return custom_context(topology, controller_sites=sites, capacity=int(worst * 1.5))
 

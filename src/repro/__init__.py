@@ -47,9 +47,11 @@ from repro.experiments import (
     fig7_data,
     headline_ratios,
     run_failure_sweep,
+    run_failure_sweep_parallel,
     run_scenario,
     table3_data,
 )
+from repro.perf import CoefficientTable
 from repro.flows import Flow, all_pairs_flows, gravity_demands, switch_flow_counts
 from repro.fmssm import (
     FMSSMInstance,
@@ -164,6 +166,8 @@ __all__ = [
     "custom_context",
     "run_scenario",
     "run_failure_sweep",
+    "run_failure_sweep_parallel",
+    "CoefficientTable",
     "fig4_data",
     "fig5_data",
     "fig6_data",

@@ -20,6 +20,7 @@ from repro.experiments.runner import (
     PAPER_ALGORITHMS,
     ScenarioResult,
     run_failure_sweep,
+    run_failure_sweep_parallel,
     run_scenario,
 )
 from repro.experiments.successive import SuccessiveStage, run_successive
@@ -38,6 +39,7 @@ __all__ = [
     "ScenarioResult",
     "run_scenario",
     "run_failure_sweep",
+    "run_failure_sweep_parallel",
     "SuccessiveStage",
     "run_successive",
     "failure_figure_data",

@@ -21,6 +21,7 @@ from repro.flows.demands import all_pairs_flows
 from repro.flows.flow import Flow
 from repro.fmssm.build import build_instance
 from repro.fmssm.instance import FMSSMInstance
+from repro.perf.coefficients import CoefficientTable
 from repro.routing.path_count import make_counter
 from repro.routing.programmability import ProgrammabilityModel
 from repro.topology.att import ATT_DEFAULT_CAPACITY, ATT_DOMAINS, att_topology
@@ -44,19 +45,37 @@ class ExperimentContext:
     _instances: dict[frozenset[ControllerId], FMSSMInstance] = field(
         default_factory=dict, repr=False
     )
+    #: Materialized coefficient table, built on demand by sweeps.
+    _table: CoefficientTable | None = field(default=None, repr=False)
 
     def instance(self, scenario: FailureScenario) -> FMSSMInstance:
-        """Build (and cache) the FMSSM instance for a failure scenario."""
+        """Build (and cache) the FMSSM instance for a failure scenario.
+
+        Once :meth:`materialize_table` has run, grounding uses the shared
+        coefficient table (pure dictionary lookups) instead of the lazy
+        model — the values are identical by construction.
+        """
         key = scenario.failed
         if key not in self._instances:
             self._instances[key] = build_instance(
                 self.plane,
                 self.flows,
-                self.programmability,
+                self._table if self._table is not None else self.programmability,
                 scenario,
                 delay_model=self.delay_model,
             )
         return self._instances[key]
+
+    def materialize_table(self) -> CoefficientTable:
+        """Build (once) and return the shared coefficient table.
+
+        Sweeps call this before fanning scenarios out so every scenario —
+        and every worker process — reuses one materialization of the
+        ``beta`` / ``p̄`` coefficients and the inverted switch index.
+        """
+        if self._table is None:
+            self._table = self.programmability.table()
+        return self._table
 
 
 def default_att_context(

@@ -9,6 +9,7 @@ algorithms are compared on identical ground data.
 from __future__ import annotations
 
 from collections.abc import Iterable
+from typing import TYPE_CHECKING
 
 from repro.control.delay import DelayModel, ideal_recovery_delay
 from repro.control.failures import FailureScenario
@@ -18,6 +19,9 @@ from repro.flows.paths import switch_flow_counts
 from repro.fmssm.instance import FMSSMInstance
 from repro.routing.programmability import ProgrammabilityModel
 from repro.types import ControllerId, FlowId, NodeId
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.perf.coefficients import CoefficientTable
 
 __all__ = ["build_instance", "default_lambda"]
 
@@ -37,7 +41,7 @@ def default_lambda(total_max_programmability: int) -> float:
 def build_instance(
     plane: ControlPlane,
     flows: Iterable[Flow],
-    programmability: ProgrammabilityModel,
+    programmability: ProgrammabilityModel | CoefficientTable,
     scenario: FailureScenario,
     delay_model: DelayModel | None = None,
     lam: float | None = None,
@@ -51,7 +55,10 @@ def build_instance(
     flows:
         The full flow population; offline flows are selected here.
     programmability:
-        Source of ``beta`` / ``p̄`` coefficients.
+        Source of ``beta`` / ``p̄`` coefficients — either the lazy
+        :class:`ProgrammabilityModel` or a materialized
+        :class:`~repro.perf.coefficients.CoefficientTable` (sweeps reuse
+        one table across all scenarios).
     scenario:
         Which controllers failed.
     delay_model:

@@ -40,6 +40,11 @@ class FMSSMInstance:
     Attributes mirror the paper's notation (Table II).  All mappings are
     keyed by public ids (node ids, controller ids, flow ids) rather than
     dense indices, since N, M and L are WAN-scale small.
+
+    Instances are treated as immutable once constructed: the derived
+    views (``pairs_at``, ``pairs_of``, ``pairs``, ``recoverable_flows``,
+    ``total_iterations``) are precomputed in ``__post_init__`` because
+    the heuristics read them in hot loops.
     """
 
     #: Offline switches S, sorted.
@@ -66,6 +71,9 @@ class FMSSMInstance:
     # Derived indexes, built in __post_init__.
     pairs_at: dict[NodeId, tuple[FlowId, ...]] = field(init=False, repr=False)
     pairs_of: dict[FlowId, tuple[NodeId, ...]] = field(init=False, repr=False)
+    _pairs: tuple[tuple[NodeId, FlowId], ...] = field(init=False, repr=False)
+    _recoverable: tuple[FlowId, ...] = field(init=False, repr=False)
+    _total_iterations: int = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         switch_set = set(self.switches)
@@ -103,11 +111,18 @@ class FMSSMInstance:
 
         pairs_at: dict[NodeId, list[FlowId]] = {s: [] for s in self.switches}
         pairs_of: dict[FlowId, list[NodeId]] = {f: [] for f in self.flows}
-        for switch, flow_id in sorted(self.pbar):
+        self._pairs = tuple(sorted(self.pbar))
+        for switch, flow_id in self._pairs:
             pairs_at[switch].append(flow_id)
             pairs_of[flow_id].append(switch)
         self.pairs_at = {s: tuple(v) for s, v in pairs_at.items()}
         self.pairs_of = {f: tuple(v) for f, v in pairs_of.items()}
+        self._recoverable = tuple(
+            sorted(f for f, switches in self.pairs_of.items() if switches)
+        )
+        self._total_iterations = (
+            max(len(switches) for switches in self.pairs_of.values()) if self.pbar else 0
+        )
 
     # ------------------------------------------------------------------
     # Derived quantities
@@ -129,13 +144,13 @@ class FMSSMInstance:
 
     @property
     def pairs(self) -> tuple[tuple[NodeId, FlowId], ...]:
-        """All programmable pairs, sorted."""
-        return tuple(sorted(self.pbar))
+        """All programmable pairs, sorted (precomputed)."""
+        return self._pairs
 
     @property
     def recoverable_flows(self) -> tuple[FlowId, ...]:
-        """Offline flows with at least one programmable pair, sorted."""
-        return tuple(sorted(f for f, switches in self.pairs_of.items() if switches))
+        """Offline flows with at least one programmable pair, sorted (precomputed)."""
+        return self._recoverable
 
     @property
     def unrecoverable_flows(self) -> tuple[FlowId, ...]:
@@ -160,11 +175,10 @@ class FMSSMInstance:
         """The paper's TOTAL_ITERATIONS: max offline switches on any flow path.
 
         Counted over programmable pairs, since only those can raise a
-        flow's programmability.
+        flow's programmability.  Precomputed in ``__post_init__`` — PM's
+        phase-1 loop reads this every pick.
         """
-        if not self.pbar:
-            return 0
-        return max(len(switches) for switches in self.pairs_of.values())
+        return self._total_iterations
 
     def describe(self) -> str:
         """One-line human summary."""

@@ -1,0 +1,22 @@
+"""Performance layer: shared coefficient tables and the parallel sweep.
+
+Failure sweeps are embarrassingly parallel across scenarios × algorithms,
+and every scenario of a sweep shares the same (topology, counter, flow
+population) — so the programmability coefficients can be materialized
+once and reused everywhere.  This package holds the two pieces that make
+that cheap:
+
+:class:`~repro.perf.coefficients.CoefficientTable`
+    A picklable, fully materialized table of ``p`` / ``beta`` / ``p̄``
+    with an inverted switch → programmable-flows index, built once per
+    (topology, counter, flows) and shared by all scenarios of a sweep.
+
+:mod:`repro.perf.sweep`
+    The process-pool machinery behind
+    :func:`repro.experiments.runner.run_failure_sweep_parallel`.
+"""
+
+from repro.perf.coefficients import CoefficientTable
+from repro.perf.sweep import SweepPlan, parallel_sweep
+
+__all__ = ["CoefficientTable", "SweepPlan", "parallel_sweep"]

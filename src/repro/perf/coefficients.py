@@ -1,0 +1,158 @@
+"""Materialized programmability coefficients, shared across a sweep.
+
+:class:`~repro.routing.programmability.ProgrammabilityModel` computes the
+paper's ``p`` / ``beta`` / ``p̄`` on demand through the path counter, and
+its aggregate queries (``flows_programmable_at``, ``max_programmability``)
+scan the flow population.  That is the right shape for one-off queries,
+but a failure sweep grounds C(M, k) instances over the *same* topology,
+counter and flows — every scenario re-asks the same questions.
+
+A :class:`CoefficientTable` materializes every coefficient exactly once:
+
+* ``p`` for every (transit switch, flow) pair,
+* ``p̄`` for every programmable pair (``p >= 2``),
+* the inverted index ``switch → programmable flows`` (the paper's line-7
+  set, O(1) per lookup instead of an O(|flows|) scan),
+* per-flow ``max_programmability``.
+
+The table is a plain-dict value object: picklable, so a parallel sweep
+ships it to worker processes once, and immutable by convention — it never
+touches the counter again after construction.  It is a drop-in source of
+coefficients for :func:`repro.fmssm.build.build_instance`, which only
+needs ``pbar(flow, switch)``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import TYPE_CHECKING
+
+from repro.exceptions import FlowError
+from repro.flows.flow import Flow
+from repro.types import FlowId, NodeId
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.routing.path_count import PathCounter
+    from repro.routing.programmability import ProgrammabilityModel
+
+__all__ = ["CoefficientTable"]
+
+
+def _flow_id(flow: Flow | FlowId) -> FlowId:
+    """Accept either a :class:`Flow` or its ``(src, dst)`` id."""
+    return flow.flow_id if isinstance(flow, Flow) else flow
+
+
+class CoefficientTable:
+    """Fully materialized ``p`` / ``beta`` / ``p̄`` coefficients.
+
+    Build via :meth:`from_counter` or :meth:`from_model`; the constructor
+    takes the already-materialized dicts and is mostly an implementation
+    detail.  All query methods accept a :class:`Flow` or a flow id.
+    """
+
+    def __init__(
+        self,
+        flows: dict[FlowId, Flow],
+        p: dict[tuple[NodeId, FlowId], int],
+        pbar: dict[tuple[NodeId, FlowId], int],
+        programmable_at: dict[NodeId, tuple[FlowId, ...]],
+        max_pro: dict[FlowId, int],
+    ) -> None:
+        self._flows = flows
+        self._p = p
+        self._pbar = pbar
+        self._programmable_at = programmable_at
+        self._max_pro = max_pro
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_counter(cls, counter: PathCounter, flows: Iterable[Flow]) -> CoefficientTable:
+        """Materialize every coefficient for ``flows`` under ``counter``."""
+        flow_map: dict[FlowId, Flow] = {}
+        p: dict[tuple[NodeId, FlowId], int] = {}
+        pbar: dict[tuple[NodeId, FlowId], int] = {}
+        programmable_at: dict[NodeId, list[FlowId]] = {}
+        max_pro: dict[FlowId, int] = {}
+        for flow in flows:
+            if flow.flow_id in flow_map:
+                raise FlowError(f"duplicate flow id {flow.flow_id!r}")
+            flow_map[flow.flow_id] = flow
+            total = 0
+            for switch in flow.transit_switches:
+                value = counter.count(switch, flow.dst)
+                if value <= 0:
+                    continue
+                p[(switch, flow.flow_id)] = value
+                if value >= 2:
+                    pbar[(switch, flow.flow_id)] = value
+                    programmable_at.setdefault(switch, []).append(flow.flow_id)
+                    total += value
+            max_pro[flow.flow_id] = total
+        return cls(
+            flows=flow_map,
+            p=p,
+            pbar=pbar,
+            programmable_at={s: tuple(v) for s, v in programmable_at.items()},
+            max_pro=max_pro,
+        )
+
+    @classmethod
+    def from_model(cls, model: ProgrammabilityModel) -> CoefficientTable:
+        """Materialize a :class:`ProgrammabilityModel`'s coefficients."""
+        return cls.from_counter(model.counter, model.flows)
+
+    # ------------------------------------------------------------------
+    # Flow access
+    # ------------------------------------------------------------------
+    @property
+    def flows(self) -> tuple[Flow, ...]:
+        """All flows, in insertion order."""
+        return tuple(self._flows.values())
+
+    def flow(self, flow_id: FlowId) -> Flow:
+        """Look up a flow by its ``(src, dst)`` id."""
+        try:
+            return self._flows[flow_id]
+        except KeyError:
+            raise FlowError(f"unknown flow id {flow_id!r}") from None
+
+    @property
+    def n_pairs(self) -> int:
+        """Number of programmable (switch, flow) pairs in the table."""
+        return len(self._pbar)
+
+    # ------------------------------------------------------------------
+    # Paper coefficients (mirror ProgrammabilityModel exactly)
+    # ------------------------------------------------------------------
+    def p(self, flow: Flow | FlowId, switch: NodeId) -> int:
+        """``p_i^l`` — forwarding choices at ``switch`` toward the dst."""
+        return self._p.get((switch, _flow_id(flow)), 0)
+
+    def beta(self, flow: Flow | FlowId, switch: NodeId) -> int:
+        """``beta_i^l`` — 1 iff the flow transits ``switch`` with ≥ 2 paths."""
+        return 1 if (switch, _flow_id(flow)) in self._pbar else 0
+
+    def pbar(self, flow: Flow | FlowId, switch: NodeId) -> int:
+        """``p̄_i^l = beta_i^l * p_i^l``."""
+        return self._pbar.get((switch, _flow_id(flow)), 0)
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    def programmable_switches(self, flow: Flow | FlowId) -> tuple[NodeId, ...]:
+        """Transit switches of ``flow`` where ``beta == 1``, in path order."""
+        resolved = self._flows[_flow_id(flow)]
+        return tuple(
+            s for s in resolved.transit_switches if (s, resolved.flow_id) in self._pbar
+        )
+
+    def max_programmability(self, flow: Flow | FlowId) -> int:
+        """Upper bound on ``pro^l``: every programmable switch in SDN mode."""
+        return self._max_pro.get(_flow_id(flow), 0)
+
+    def flows_programmable_at(self, switch: NodeId) -> tuple[Flow, ...]:
+        """Flows with ``beta == 1`` at ``switch``, via the inverted index."""
+        return tuple(self._flows[f] for f in self._programmable_at.get(switch, ()))

@@ -1,0 +1,136 @@
+"""Process-pool execution of failure sweeps.
+
+A sweep is embarrassingly parallel across scenarios × algorithms: every
+task grounds its instance from the same shared data (topology, flows,
+coefficient table) and writes to a disjoint result slot.  This module
+fans those tasks over a :class:`~concurrent.futures.ProcessPoolExecutor`
+and merges results back in deterministic (scenario, algorithm) order, so
+the output is indistinguishable from the serial sweep apart from
+wall-clock time.
+
+Workers receive one pickled :class:`SweepPlan` through the pool
+initializer — the context (with its coefficient table materialized by
+the parent, so no worker re-derives a single path count) is shipped once
+per worker, not once per task.  Any failure to parallelize (payloads
+that refuse to pickle, a platform without working process pools, a pool
+that dies mid-sweep) degrades gracefully to the serial path.
+"""
+
+from __future__ import annotations
+
+import pickle
+from collections.abc import Sequence
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+
+from repro.baselines import get_algorithm
+from repro.control.failures import FailureScenario
+from repro.fmssm.evaluation import RecoveryEvaluation, evaluate_solution
+from repro.fmssm.instance import FMSSMInstance
+from repro.fmssm.optimal import solve_optimal
+from repro.fmssm.solution import RecoverySolution
+
+__all__ = ["SweepPlan", "parallel_sweep"]
+
+
+@dataclass
+class SweepPlan:
+    """Everything a worker needs to run any (scenario, algorithm) task.
+
+    The plan is pickled exactly once by the parent and unpickled exactly
+    once per worker; workers then index into it by task.
+    """
+
+    context: "ExperimentContext"  # noqa: F821 - imported lazily (cycle)
+    scenarios: tuple[FailureScenario, ...]
+    optimal_time_limit_s: float = 300.0
+
+
+#: Per-worker state, populated by :func:`_init_worker`.
+_WORKER: dict[str, SweepPlan] = {}
+
+
+def _init_worker(payload: bytes) -> None:
+    """Pool initializer: unpickle the shared plan once per worker."""
+    _WORKER["plan"] = pickle.loads(payload)
+
+
+def _solve(instance: FMSSMInstance, algorithm: str, time_limit_s: float) -> RecoverySolution:
+    """Run one algorithm on one instance (same routing as the serial path)."""
+    if algorithm == "optimal":
+        return solve_optimal(instance, time_limit_s=time_limit_s)
+    return get_algorithm(algorithm)(instance)
+
+
+def _run_task(
+    task: tuple[int, str],
+) -> tuple[int, str, RecoverySolution, RecoveryEvaluation]:
+    """Worker body: solve + evaluate one (scenario index, algorithm) task."""
+    index, algorithm = task
+    plan = _WORKER["plan"]
+    instance = plan.context.instance(plan.scenarios[index])
+    solution = _solve(instance, algorithm, plan.optimal_time_limit_s)
+    return index, algorithm, solution, evaluate_solution(instance, solution)
+
+
+def parallel_sweep(
+    context: "ExperimentContext",  # noqa: F821
+    scenarios: Sequence[FailureScenario],
+    algorithms: Sequence[str],
+    optimal_time_limit_s: float = 300.0,
+    max_workers: int | None = None,
+) -> "list[ScenarioResult]":  # noqa: F821
+    """Run ``scenarios`` × ``algorithms`` over a process pool.
+
+    Results are merged in scenario order with per-scenario algorithm
+    order preserved, exactly as the serial sweep produces them.  Falls
+    back to the serial path when ``max_workers`` resolves to ≤ 1, when
+    the plan or a result refuses to pickle, or when the pool breaks.
+    """
+    import os
+
+    from repro.experiments.runner import ScenarioResult, run_scenario
+
+    scenarios = tuple(scenarios)
+    algorithms = tuple(algorithms)
+
+    def serial() -> list[ScenarioResult]:
+        return [
+            run_scenario(context, scenario, algorithms, optimal_time_limit_s)
+            for scenario in scenarios
+        ]
+
+    tasks = [(i, a) for i in range(len(scenarios)) for a in algorithms]
+    if max_workers is None:
+        max_workers = os.cpu_count() or 1
+    workers = min(max_workers, len(tasks))
+    if workers <= 1 or not tasks:
+        return serial()
+
+    # Materialize the shared coefficient table in the parent so workers
+    # inherit it (and the warm path-count cache) instead of re-deriving.
+    try:
+        context.materialize_table()
+    except AttributeError:  # duck-typed contexts without a table cache
+        pass
+    try:
+        payload = pickle.dumps(
+            SweepPlan(context, scenarios, optimal_time_limit_s),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+    except Exception:  # unpicklable context/scenarios: stay serial
+        return serial()
+
+    results = [ScenarioResult(scenario=scenario) for scenario in scenarios]
+    try:
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=_init_worker, initargs=(payload,)
+        ) as pool:
+            for index, algorithm, solution, evaluation in pool.map(_run_task, tasks):
+                results[index].solutions[algorithm] = solution
+                results[index].evaluations[algorithm] = evaluation
+    except (OSError, pickle.PicklingError, BrokenProcessPool):
+        # Sandboxes without fork/spawn, or results that refuse to pickle.
+        return serial()
+    return results

@@ -75,11 +75,27 @@ class ProgrammabilityMedic:
         self._instance = instance
         self._phase2_order = phase2_order
         self._enforce_delay = enforce_delay
+        # Delay-ordered controller lists, hoisted out of _map_switch: the
+        # instance is immutable, so the per-switch ascending-delay order
+        # never changes between picks (or runs).
+        self._controllers_by_delay: dict[NodeId, tuple[ControllerId, ...]] = {
+            switch: tuple(
+                sorted(
+                    instance.controllers,
+                    key=lambda c: (instance.delay[(switch, c)], c),
+                )
+            )
+            for switch in instance.switches
+        }
         # Mutable run state.
         self._mapping: dict[NodeId, ControllerId] = {}
         self._sdn_pairs: set[tuple[NodeId, FlowId]] = set()
         self._available: dict[ControllerId, int] = {}
         self._h: dict[FlowId, int] = {}
+        #: Per-switch histogram of its pair-flows' current levels, kept in
+        #: sync with ``_h`` so _select_switch reads counts in O(1) per
+        #: switch instead of recounting all pairs on every pick.
+        self._level_count: dict[NodeId, dict[int, int]] = {}
         self._total_delay_ms: float = 0.0
 
     # ------------------------------------------------------------------
@@ -93,6 +109,10 @@ class ProgrammabilityMedic:
         self._sdn_pairs = set()
         self._available = dict(instance.spare)
         self._h = {flow_id: 0 for flow_id in instance.flows}
+        self._level_count = {
+            switch: {0: len(flow_ids)} if flow_ids else {}
+            for switch, flow_ids in instance.pairs_at.items()
+        }
         self._total_delay_ms = 0.0
 
         self._phase1()
@@ -119,8 +139,9 @@ class ProgrammabilityMedic:
         untested: list[NodeId] = list(instance.switches)
         sigma = 0
         test_count = 0
+        total_iterations = instance.total_iterations
 
-        while test_count < instance.total_iterations:
+        while test_count < total_iterations:
             switch = self._select_switch(untested, sigma)
             if switch is None:
                 # No untested switch helps any least-level flow: this pass
@@ -141,20 +162,20 @@ class ProgrammabilityMedic:
 
         Ties break toward the lower switch id (the pseudo-code's strict
         ``>`` keeps the first maximum in iteration order; we iterate
-        switches sorted).
+        switches sorted).  Counts come from the incrementally maintained
+        per-switch level histogram — O(1) per switch versus rescanning
+        every pair on every pick.
         """
         best_switch: NodeId | None = None
         best_count = 0
+        level_count = self._level_count
         for switch in sorted(untested):
-            count = sum(
-                1
-                for flow_id in self._instance.pairs_at[switch]
-                if self._h[flow_id] == sigma
-            )
+            count = level_count[switch].get(sigma, 0)
             if count > best_count:
                 best_count = count
                 best_switch = switch
         return best_switch
+
 
     def _map_switch(self, switch: NodeId) -> ControllerId:
         """Lines 17-28: reuse an existing mapping or pick a controller."""
@@ -162,12 +183,8 @@ class ProgrammabilityMedic:
             return self._mapping[switch]
         instance = self._instance
         gamma = instance.gamma[switch]
-        ordered = sorted(
-            instance.controllers,
-            key=lambda c: (instance.delay[(switch, c)], c),
-        )
         chosen: ControllerId | None = None
-        for controller in ordered:
+        for controller in self._controllers_by_delay[switch]:
             if self._available[controller] >= gamma:
                 chosen = controller
                 break  # nearest capable controller (see module notes)
@@ -182,56 +199,90 @@ class ProgrammabilityMedic:
         return chosen
 
     def _recover_at(self, switch: NodeId, controller: ControllerId, sigma: int) -> None:
-        """Lines 31-36: flip least-level flows to SDN mode at ``switch``."""
+        """Lines 31-36: flip least-level flows to SDN mode at ``switch``.
+
+        This is the per-activation hot loop, so state lives in locals and
+        the delay charge / level-bucket updates are inlined.  Every
+        recovery rebuckets the flow at each switch it pairs with, keeping
+        ``_level_count`` consistent with ``_h`` for ``_select_switch``.
+        """
         instance = self._instance
+        h = self._h
+        sdn_pairs = self._sdn_pairs
+        pbar = instance.pbar
+        pairs_of = instance.pairs_of
+        level_count = self._level_count
+        enforce = self._enforce_delay
+        delay_sc = instance.delay[(switch, controller)]
+        budget = instance.ideal_delay_ms + 1e-9
+        total_delay = self._total_delay_ms
+        avail = self._available[controller]
         for flow_id in instance.pairs_at[switch]:
-            if self._h[flow_id] > sigma:
+            old = h[flow_id]
+            if old > sigma:
                 continue
-            if (switch, flow_id) in self._sdn_pairs:
+            if (switch, flow_id) in sdn_pairs:
                 continue
-            if self._available[controller] <= 0:
+            if avail <= 0:
                 break
-            if not self._charge_delay(switch, controller):
+            if enforce and total_delay + delay_sc > budget:
                 continue
-            self._available[controller] -= 1
-            self._h[flow_id] += instance.pbar[(switch, flow_id)]
-            self._sdn_pairs.add((switch, flow_id))
+            total_delay += delay_sc
+            avail -= 1
+            new = old + pbar[(switch, flow_id)]
+            h[flow_id] = new
+            for paired_switch in pairs_of[flow_id]:
+                buckets = level_count[paired_switch]
+                remaining = buckets[old] - 1
+                if remaining:
+                    buckets[old] = remaining
+                else:
+                    del buckets[old]
+                buckets[new] = buckets.get(new, 0) + 1
+            sdn_pairs.add((switch, flow_id))
+        self._available[controller] = avail
+        self._total_delay_ms = total_delay
 
     # ------------------------------------------------------------------
     # Phase 2: resource saturation (lines 42-50)
     # ------------------------------------------------------------------
     def _phase2(self) -> None:
+        """Scan leftover pairs and spend any remaining controller budget.
+
+        ``_select_switch`` never runs after phase 1, so the level buckets
+        are not maintained here — only ``_h`` (the per-flow
+        programmability the solution reports) advances.
+        """
         instance = self._instance
         pairs = list(instance.pairs)
         if self._phase2_order == "greedy":
             pairs.sort(key=lambda p: (-instance.pbar[p], p))
-        for switch, flow_id in pairs:
-            if (switch, flow_id) in self._sdn_pairs:
+        h = self._h
+        sdn_pairs = self._sdn_pairs
+        available = self._available
+        mapping = self._mapping
+        pbar = instance.pbar
+        delay = instance.delay
+        enforce = self._enforce_delay
+        budget = instance.ideal_delay_ms + 1e-9
+        total_delay = self._total_delay_ms
+        for pair in pairs:
+            if pair in sdn_pairs:
                 continue
-            controller = self._mapping.get(switch)
+            switch, flow_id = pair
+            controller = mapping.get(switch)
             if controller is None:
                 continue
-            if self._available[controller] <= 0:
+            if available[controller] <= 0:
                 continue
-            if not self._charge_delay(switch, controller):
+            pair_delay = delay[(switch, controller)]
+            if enforce and total_delay + pair_delay > budget:
                 continue
-            self._available[controller] -= 1
-            self._h[flow_id] += instance.pbar[(switch, flow_id)]
-            self._sdn_pairs.add((switch, flow_id))
-
-    # ------------------------------------------------------------------
-    # Delay budget
-    # ------------------------------------------------------------------
-    def _charge_delay(self, switch: NodeId, controller: ControllerId) -> bool:
-        """Reserve Eq.-(14) delay budget for one activation, if allowed."""
-        delay = self._instance.delay[(switch, controller)]
-        if (
-            self._enforce_delay
-            and self._total_delay_ms + delay > self._instance.ideal_delay_ms + 1e-9
-        ):
-            return False
-        self._total_delay_ms += delay
-        return True
+            total_delay += pair_delay
+            available[controller] -= 1
+            h[flow_id] += pbar[pair]
+            sdn_pairs.add(pair)
+        self._total_delay_ms = total_delay
 
 
 def solve_pm(

@@ -10,11 +10,15 @@ coefficients.
 from __future__ import annotations
 
 from collections.abc import Iterable
+from typing import TYPE_CHECKING
 
 from repro.exceptions import FlowError
 from repro.flows.flow import Flow
 from repro.routing.path_count import PathCounter
 from repro.types import FlowId, NodeId
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.perf.coefficients import CoefficientTable
 
 __all__ = ["ProgrammabilityModel"]
 
@@ -39,6 +43,8 @@ class ProgrammabilityModel:
             if flow.flow_id in self._flows:
                 raise FlowError(f"duplicate flow id {flow.flow_id!r}")
             self._flows[flow.flow_id] = flow
+        self._max_pro: dict[FlowId, int] = {}
+        self._table: CoefficientTable | None = None
 
     @property
     def counter(self) -> PathCounter:
@@ -86,9 +92,37 @@ class ProgrammabilityModel:
         return tuple(s for s in flow.transit_switches if self.beta(flow, s))
 
     def max_programmability(self, flow: Flow) -> int:
-        """Upper bound on ``pro^l``: every programmable switch in SDN mode."""
-        return sum(self.pbar(flow, s) for s in flow.transit_switches)
+        """Upper bound on ``pro^l``: every programmable switch in SDN mode.
+
+        Cached per flow — ``default_lambda`` and the evaluators query it
+        repeatedly with identical arguments.
+        """
+        cached = self._max_pro.get(flow.flow_id)
+        if cached is None:
+            cached = sum(self.pbar(flow, s) for s in flow.transit_switches)
+            self._max_pro[flow.flow_id] = cached
+        return cached
 
     def flows_programmable_at(self, switch: NodeId) -> tuple[Flow, ...]:
-        """Flows with ``beta == 1`` at ``switch`` (the paper's line-7 set)."""
-        return tuple(f for f in self._flows.values() if self.beta(f, switch))
+        """Flows with ``beta == 1`` at ``switch`` (the paper's line-7 set).
+
+        Served from the materialized table's inverted index — O(answer)
+        instead of an O(|flows|) scan per call.
+        """
+        return self.table().flows_programmable_at(switch)
+
+    # ------------------------------------------------------------------
+    # Materialization
+    # ------------------------------------------------------------------
+    def table(self) -> CoefficientTable:
+        """The fully materialized (and cached) coefficient table.
+
+        Building it evaluates every (transit switch, flow) coefficient
+        once; afterwards aggregate queries are dictionary lookups and the
+        table can be pickled to worker processes for parallel sweeps.
+        """
+        if self._table is None:
+            from repro.perf.coefficients import CoefficientTable
+
+            self._table = CoefficientTable.from_model(self)
+        return self._table

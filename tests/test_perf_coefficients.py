@@ -1,0 +1,113 @@
+"""CoefficientTable must agree exactly with the lazy ProgrammabilityModel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.control.failures import FailureScenario
+from repro.exceptions import FlowError
+from repro.flows.demands import all_pairs_flows
+from repro.fmssm.build import build_instance
+from repro.perf.coefficients import CoefficientTable
+from repro.routing.path_count import LoopFreeAlternateCounter
+from repro.routing.programmability import ProgrammabilityModel
+from repro.topology.generators import grid_topology
+
+
+@pytest.fixture(scope="module")
+def grid_pair():
+    grid = grid_topology(3, 3)
+    flows = all_pairs_flows(grid, weight="hops")
+    model = ProgrammabilityModel(LoopFreeAlternateCounter(grid, slack=1), flows)
+    return model, CoefficientTable.from_model(model)
+
+
+class TestAgainstModel:
+    def test_coefficients_identical(self, grid_pair):
+        model, table = grid_pair
+        for flow in model.flows:
+            for switch in flow.path:
+                assert table.p(flow, switch) == model.p(flow, switch)
+                assert table.beta(flow, switch) == model.beta(flow, switch)
+                assert table.pbar(flow, switch) == model.pbar(flow, switch)
+
+    def test_aggregates_identical(self, grid_pair):
+        model, table = grid_pair
+        for flow in model.flows:
+            assert table.max_programmability(flow) == model.max_programmability(flow)
+            assert table.programmable_switches(flow) == model.programmable_switches(flow)
+
+    def test_inverted_index_matches_scan(self, grid_pair):
+        model, table = grid_pair
+        for switch in range(9):
+            scanned = tuple(f for f in model.flows if model.beta(f, switch))
+            assert table.flows_programmable_at(switch) == scanned
+
+    def test_accepts_flow_ids(self, grid_pair):
+        model, table = grid_pair
+        flow = model.flows[0]
+        switch = flow.transit_switches[0]
+        assert table.p(flow.flow_id, switch) == table.p(flow, switch)
+        assert table.max_programmability(flow.flow_id) == table.max_programmability(flow)
+
+    def test_flow_lookup(self, grid_pair):
+        _, table = grid_pair
+        assert table.flow((0, 8)).flow_id == (0, 8)
+        with pytest.raises(FlowError):
+            table.flow((123, 456))
+
+    def test_duplicate_flows_rejected(self):
+        grid = grid_topology(2, 2)
+        from repro.flows.flow import Flow
+
+        with pytest.raises(FlowError, match="duplicate"):
+            CoefficientTable.from_counter(
+                LoopFreeAlternateCounter(grid), [Flow(0, 1, (0, 1)), Flow(0, 1, (0, 1))]
+            )
+
+
+class TestModelIntegration:
+    def test_model_table_is_cached(self, grid_pair):
+        model, _ = grid_pair
+        assert model.table() is model.table()
+
+    def test_model_flows_programmable_at_uses_index(self, grid_pair):
+        model, table = grid_pair
+        assert model.flows_programmable_at(0) == table.flows_programmable_at(0)
+
+    def test_max_programmability_cache_consistent(self, grid_pair):
+        model, _ = grid_pair
+        flow = model.flows[0]
+        first = model.max_programmability(flow)
+        assert model.max_programmability(flow) == first  # served from cache
+
+
+class TestInstanceGrounding:
+    def test_build_instance_same_from_table_and_model(self, att_context):
+        """Grounding from the table must be indistinguishable."""
+        scenario = FailureScenario(frozenset({2, 22}))
+        table = att_context.programmability.table()
+        from_model = build_instance(
+            att_context.plane,
+            att_context.flows,
+            att_context.programmability,
+            scenario,
+            delay_model=att_context.delay_model,
+        )
+        from_table = build_instance(
+            att_context.plane,
+            att_context.flows,
+            table,
+            scenario,
+            delay_model=att_context.delay_model,
+        )
+        assert from_table.pbar == from_model.pbar
+        assert from_table.switches == from_model.switches
+        assert from_table.controllers == from_model.controllers
+        assert from_table.spare == from_model.spare
+        assert from_table.gamma == from_model.gamma
+        assert from_table.lam == from_model.lam
+        assert from_table.ideal_delay_ms == from_model.ideal_delay_ms
+
+    def test_materialize_table_idempotent(self, att_context):
+        assert att_context.materialize_table() is att_context.materialize_table()

@@ -1,0 +1,184 @@
+"""The reworked PM hot loop must be bit-for-bit the pre-rework algorithm.
+
+``_ReferencePM`` reimplements Algorithm 1 exactly as it existed before
+the perf rework — per-pick recounting in ``_select_switch``, the
+``total_iterations`` property read in the loop condition, per-call
+controller sorting in ``_map_switch``, and the straight-line
+``_recover_at`` / ``_phase2`` bodies.  Any divergence in ``mapping``,
+``sdn_pairs`` or per-flow programmability across the seeded scenario
+matrix is a regression in the rework, not a tie-break judgement call.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.control.failures import (
+    enumerate_failure_scenarios,
+    sample_failure_scenarios,
+)
+from repro.experiments.scenarios import custom_context
+from repro.fmssm.evaluation import evaluate_solution
+from repro.pm.algorithm import ProgrammabilityMedic
+from repro.topology.generators import waxman_topology
+
+#: (phase2_order, enforce_delay) variants the satellite matrix covers.
+VARIANTS = (("paper", False), ("greedy", False), ("paper", True), ("greedy", True))
+
+
+class _ReferencePM(ProgrammabilityMedic):
+    """Pre-rework Algorithm 1, kept verbatim as the equivalence oracle."""
+
+    def _phase1(self):
+        instance = self._instance
+        recoverable = set(instance.recoverable_flows)
+        untested = list(instance.switches)
+        sigma = 0
+        test_count = 0
+        while test_count < instance.total_iterations:
+            switch = self._select_switch(untested, sigma)
+            if switch is None:
+                untested = []
+            else:
+                controller = self._map_switch(switch)
+                untested.remove(switch)
+                self._recover_at(switch, controller, sigma)
+            if not untested:
+                untested = list(instance.switches)
+                test_count += 1
+                if recoverable:
+                    sigma = min(self._h[f] for f in recoverable)
+
+    def _select_switch(self, untested, sigma):
+        best_switch = None
+        best_count = 0
+        for switch in sorted(untested):
+            count = sum(
+                1
+                for flow_id in self._instance.pairs_at[switch]
+                if self._h[flow_id] == sigma
+            )
+            if count > best_count:
+                best_count = count
+                best_switch = switch
+        return best_switch
+
+    def _map_switch(self, switch):
+        if switch in self._mapping:
+            return self._mapping[switch]
+        instance = self._instance
+        gamma = instance.gamma[switch]
+        ordered = sorted(
+            instance.controllers,
+            key=lambda c: (instance.delay[(switch, c)], c),
+        )
+        chosen = None
+        for controller in ordered:
+            if self._available[controller] >= gamma:
+                chosen = controller
+                break
+        if chosen is None:
+            chosen = max(instance.controllers, key=lambda c: (self._available[c], -c))
+        self._mapping[switch] = chosen
+        return chosen
+
+    def _charge_delay(self, switch, controller):
+        delay = self._instance.delay[(switch, controller)]
+        if (
+            self._enforce_delay
+            and self._total_delay_ms + delay > self._instance.ideal_delay_ms + 1e-9
+        ):
+            return False
+        self._total_delay_ms += delay
+        return True
+
+    def _recover_at(self, switch, controller, sigma):
+        instance = self._instance
+        for flow_id in instance.pairs_at[switch]:
+            if self._h[flow_id] > sigma:
+                continue
+            if (switch, flow_id) in self._sdn_pairs:
+                continue
+            if self._available[controller] <= 0:
+                break
+            if not self._charge_delay(switch, controller):
+                continue
+            self._available[controller] -= 1
+            self._h[flow_id] += instance.pbar[(switch, flow_id)]
+            self._sdn_pairs.add((switch, flow_id))
+
+    def _phase2(self):
+        instance = self._instance
+        pairs = list(instance.pairs)
+        if self._phase2_order == "greedy":
+            pairs.sort(key=lambda p: (-instance.pbar[p], p))
+        for switch, flow_id in pairs:
+            if (switch, flow_id) in self._sdn_pairs:
+                continue
+            controller = self._mapping.get(switch)
+            if controller is None:
+                continue
+            if self._available[controller] <= 0:
+                continue
+            if not self._charge_delay(switch, controller):
+                continue
+            self._available[controller] -= 1
+            self._h[flow_id] += instance.pbar[(switch, flow_id)]
+            self._sdn_pairs.add((switch, flow_id))
+
+
+def assert_bit_for_bit(instance, phase2_order, enforce_delay):
+    new = ProgrammabilityMedic(
+        instance, phase2_order=phase2_order, enforce_delay=enforce_delay
+    ).run()
+    ref = _ReferencePM(
+        instance, phase2_order=phase2_order, enforce_delay=enforce_delay
+    ).run()
+    assert new.mapping == ref.mapping
+    assert new.sdn_pairs == ref.sdn_pairs
+    # Per-flow h: the evaluator recomputes programmability from Y, which
+    # must coincide with the internal levels of both implementations.
+    new_eval = evaluate_solution(instance, new, verify=False)
+    ref_eval = evaluate_solution(instance, ref, verify=False)
+    assert new_eval.programmability == ref_eval.programmability
+    assert new_eval.total_delay_ms == ref_eval.total_delay_ms
+
+
+class TestAttMatrix:
+    @pytest.mark.parametrize("phase2_order,enforce_delay", VARIANTS)
+    def test_all_one_failure_cases(self, att_context, phase2_order, enforce_delay):
+        for scenario in enumerate_failure_scenarios(att_context.plane, 1):
+            instance = att_context.instance(scenario)
+            assert_bit_for_bit(instance, phase2_order, enforce_delay)
+
+    @pytest.mark.parametrize("phase2_order,enforce_delay", VARIANTS)
+    def test_seeded_two_failure_cases(self, att_context, phase2_order, enforce_delay):
+        for scenario in sample_failure_scenarios(att_context.plane, 2, 6, seed=11):
+            instance = att_context.instance(scenario)
+            assert_bit_for_bit(instance, phase2_order, enforce_delay)
+
+    @pytest.mark.parametrize("phase2_order,enforce_delay", VARIANTS)
+    def test_seeded_three_failure_cases(self, att_context, phase2_order, enforce_delay):
+        for scenario in sample_failure_scenarios(att_context.plane, 3, 4, seed=23):
+            instance = att_context.instance(scenario)
+            assert_bit_for_bit(instance, phase2_order, enforce_delay)
+
+
+class TestSyntheticMatrix:
+    @pytest.fixture(scope="class")
+    def waxman_context(self):
+        topology = waxman_topology(24, alpha=0.6, beta=0.35, seed=5)
+        return custom_context(topology, controller_sites=(0, 5, 11, 17), capacity=900)
+
+    @pytest.mark.parametrize("phase2_order,enforce_delay", VARIANTS)
+    def test_seeded_waxman_cases(self, waxman_context, phase2_order, enforce_delay):
+        for n_failures in (1, 2):
+            for scenario in sample_failure_scenarios(
+                waxman_context.plane, n_failures, 3, seed=7
+            ):
+                instance = waxman_context.instance(scenario)
+                assert_bit_for_bit(instance, phase2_order, enforce_delay)
+
+    def test_tiny_instance_equivalence(self, tiny_instance):
+        for phase2_order, enforce_delay in VARIANTS:
+            assert_bit_for_bit(tiny_instance, phase2_order, enforce_delay)
