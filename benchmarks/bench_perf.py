@@ -1,8 +1,7 @@
-"""Quick perf headline: table build, parallel sweep, PM hot loop.
+"""Quick perf headline: table build, parallel sweep, PM hot loop, Optimal.
 
-Unlike the figure benchmarks this file never touches the exact solver, so
-it runs in seconds — CI uses it as the quick-bench smoke job that keeps
-``BENCH_headline.json`` fresh and well-formed.  Three stages are timed:
+This file runs in seconds — CI uses it as the quick-bench smoke job that
+keeps ``BENCH_headline.json`` fresh and well-formed.  Timed stages:
 
 * ``table_build_s`` — materializing the shared coefficient table
   (recorded by the session ``context`` fixture),
@@ -10,7 +9,12 @@ it runs in seconds — CI uses it as the quick-bench smoke job that keeps
   one-failure sweep, serial versus process-pool,
 * ``pm_n40_s`` / ``pm_n40_stress_s`` — the PM hot loop on the n=40
   Waxman WAN from ``bench_scalability.py`` (single failure, and the
-  3-of-5 controller stress case where phase 1 dominates).
+  3-of-5 controller stress case where phase 1 dominates),
+* ``optimal_n40_model_s`` / ``optimal_n40_sparse_s`` — one exact solve
+  of P′ on the n=40 Waxman single-failure case via the DSL route versus
+  the sparse compile + PM-certificate route (``repro.perf.compile``),
+  with ``optimal_n40_compile_model_s`` / ``optimal_n40_compile_sparse_s``
+  isolating the model-assembly share.
 """
 
 from __future__ import annotations
@@ -103,3 +107,63 @@ def test_pm_hot_loop_n40(waxman40_context, capsys):
         print()
         print("=== PM hot loop on n=40 Waxman ===")
         print(render_table(("stage", "offline switches", "pairs", "best (ms)"), rows))
+
+
+def _best_of(n, thunk):
+    best, value = float("inf"), None
+    for _ in range(n):
+        start = time.perf_counter()
+        value = thunk()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def test_optimal_fast_path_n40(waxman40_context, capsys):
+    """Sparse-compiled Optimal is ≥ 3× faster than the DSL route, same answer."""
+    from repro.fmssm.formulation import build_fmssm_model
+    from repro.fmssm.optimal import solve_optimal
+    from repro.lp.standard_form import to_standard_form
+    from repro.perf.compile import compile_fmssm
+
+    ids = waxman40_context.plane.controller_ids
+    instance = waxman40_context.instance(FailureScenario(frozenset({ids[0]})))
+
+    compile_model_s, _ = _best_of(
+        3,
+        lambda: to_standard_form(
+            build_fmssm_model(instance, require_full_recovery=True)[0]
+        ),
+    )
+    record_stage("optimal_n40_compile_model_s", compile_model_s)
+    compile_sparse_s, _ = _best_of(
+        3, lambda: compile_fmssm(instance, require_full_recovery=True)
+    )
+    record_stage("optimal_n40_compile_sparse_s", compile_sparse_s)
+
+    model_s, via_model = _best_of(
+        3, lambda: solve_optimal(instance, time_limit_s=120, compile="model")
+    )
+    record_stage("optimal_n40_model_s", model_s)
+    sparse_s, via_sparse = _best_of(
+        3, lambda: solve_optimal(instance, time_limit_s=120, compile="sparse")
+    )
+    record_stage("optimal_n40_sparse_s", sparse_s)
+
+    # Bit-identical verdict and canonical objective across routes.
+    assert via_model.feasible and via_sparse.feasible
+    assert via_model.meta["objective"] == via_sparse.meta["objective"]
+    assert model_s >= 3.0 * sparse_s
+
+    with capsys.disabled():
+        print()
+        print("=== Optimal exact solve on n=40 Waxman (1 failure) ===")
+        print(
+            render_table(
+                ("route", "compile (ms)", "end-to-end (ms)"),
+                [
+                    ("model (DSL)", f"{1000 * compile_model_s:.2f}", f"{1000 * model_s:.1f}"),
+                    ("sparse", f"{1000 * compile_sparse_s:.2f}", f"{1000 * sparse_s:.1f}"),
+                ],
+            )
+        )
+        print(f"speedup: {model_s / sparse_s:.1f}x  (certificate={via_sparse.meta['certificate']})")

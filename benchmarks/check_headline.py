@@ -1,0 +1,113 @@
+"""Diff a fresh ``BENCH_headline.json`` against the committed baseline.
+
+CI runs the quick-bench job on shared virtualized runners, so stage wall
+clocks jitter by several multiples between runs — absolute thresholds
+would be permanently flaky.  Instead this checker compares each stage of
+a freshly produced ``BENCH_headline.json`` against the committed
+``benchmarks/BENCH_baseline.json`` with a *generous* per-stage tolerance
+(default 10×) and fails only on order-of-magnitude regressions: the kind
+a code change causes and machine noise does not.
+
+Rules
+-----
+* A stage present in both files fails when
+  ``current > tolerance * max(baseline, floor)`` — the absolute floor
+  (default 50 ms) keeps microsecond-scale stages (e.g. ``pm_n40_s``)
+  from tripping on scheduler noise.
+* A stage present in the baseline but missing from the current run fails
+  (a silently dropped benchmark looks like a perf win).
+* New stages in the current run pass (they become baseline next refresh).
+
+Usage::
+
+    python benchmarks/check_headline.py \
+        [--current BENCH_headline.json] \
+        [--baseline benchmarks/BENCH_baseline.json] \
+        [--tolerance 10.0] [--floor-s 0.05]
+
+Refresh the baseline by copying a representative ``BENCH_headline.json``
+over ``benchmarks/BENCH_baseline.json`` and committing it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_CURRENT = REPO_ROOT / "BENCH_headline.json"
+DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "BENCH_baseline.json"
+
+#: Regressions smaller than this factor are treated as machine noise.
+DEFAULT_TOLERANCE = 10.0
+#: Stages faster than this (in either file) are compared against the
+#: floor instead — sub-50 ms timings are dominated by scheduler jitter.
+DEFAULT_FLOOR_S = 0.05
+
+
+def load_stages(path: Path) -> dict[str, float]:
+    payload = json.loads(path.read_text())
+    if payload.get("schema") != 1 or payload.get("unit") != "seconds":
+        raise SystemExit(f"{path}: unsupported headline schema: {payload!r}")
+    stages = payload.get("stages")
+    if not isinstance(stages, dict) or not stages:
+        raise SystemExit(f"{path}: stages must be a non-empty mapping")
+    return {name: float(seconds) for name, seconds in stages.items()}
+
+
+def compare(
+    current: dict[str, float],
+    baseline: dict[str, float],
+    tolerance: float = DEFAULT_TOLERANCE,
+    floor_s: float = DEFAULT_FLOOR_S,
+) -> list[str]:
+    """Human-readable failure messages; empty when the run is acceptable."""
+    failures = []
+    for stage, base_s in sorted(baseline.items()):
+        cur_s = current.get(stage)
+        if cur_s is None:
+            failures.append(f"{stage}: missing from current run (baseline {base_s:.4f}s)")
+            continue
+        limit = tolerance * max(base_s, floor_s)
+        if cur_s > limit:
+            failures.append(
+                f"{stage}: {cur_s:.4f}s exceeds {tolerance:g}x baseline "
+                f"(baseline {base_s:.4f}s, limit {limit:.4f}s)"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--current", type=Path, default=DEFAULT_CURRENT)
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE)
+    parser.add_argument("--floor-s", type=float, default=DEFAULT_FLOOR_S)
+    args = parser.parse_args(argv)
+
+    current = load_stages(args.current)
+    baseline = load_stages(args.baseline)
+    failures = compare(current, baseline, args.tolerance, args.floor_s)
+
+    width = max(len(s) for s in sorted(set(current) | set(baseline)))
+    for stage in sorted(set(current) | set(baseline)):
+        cur = current.get(stage)
+        base = baseline.get(stage)
+        cur_txt = f"{cur:.4f}s" if cur is not None else "missing"
+        base_txt = f"{base:.4f}s" if base is not None else "new stage"
+        ratio = f"{cur / base:6.2f}x" if cur is not None and base else "      -"
+        print(f"{stage:<{width}}  current {cur_txt:>9}  baseline {base_txt:>9}  {ratio}")
+
+    if failures:
+        print()
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    print(f"\nOK: all stages within {args.tolerance:g}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

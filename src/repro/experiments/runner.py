@@ -58,18 +58,25 @@ def run_scenario(
     scenario: FailureScenario,
     algorithms: Sequence[str] = PAPER_ALGORITHMS,
     optimal_time_limit_s: float = 300.0,
+    optimal_compile: str = "sparse",
 ) -> ScenarioResult:
     """Run ``algorithms`` on one failure scenario.
 
     The ``"optimal"`` entry is routed through :func:`solve_optimal` with
     the time limit; an infeasible/timeout outcome is kept as an
     infeasible evaluation, mirroring the paper's missing Optimal bars.
+    ``optimal_compile`` picks its compilation route (``"sparse"`` fast
+    path or the ``"model"`` DSL route for cross-validation).
     """
     instance = context.instance(scenario)
     result = ScenarioResult(scenario=scenario)
     for name in algorithms:
         if name == "optimal":
-            solution = solve_optimal(instance, time_limit_s=optimal_time_limit_s)
+            solution = solve_optimal(
+                instance,
+                time_limit_s=optimal_time_limit_s,
+                compile=optimal_compile,
+            )
         else:
             solution = get_algorithm(name)(instance)
         result.solutions[name] = solution
@@ -82,10 +89,17 @@ def run_failure_sweep(
     n_failures: int,
     algorithms: Sequence[str] = PAPER_ALGORITHMS,
     optimal_time_limit_s: float = 300.0,
+    optimal_compile: str = "sparse",
 ) -> list[ScenarioResult]:
     """Run all C(M, n_failures) failure combinations (Figs. 4-6)."""
     return [
-        run_scenario(context, scenario, algorithms, optimal_time_limit_s)
+        run_scenario(
+            context,
+            scenario,
+            algorithms,
+            optimal_time_limit_s,
+            optimal_compile=optimal_compile,
+        )
         for scenario in enumerate_failure_scenarios(context.plane, n_failures)
     ]
 
@@ -96,6 +110,8 @@ def run_failure_sweep_parallel(
     algorithms: Sequence[str] = PAPER_ALGORITHMS,
     optimal_time_limit_s: float = 300.0,
     max_workers: int | None = None,
+    optimal_compile: str = "sparse",
+    min_parallel_tasks: int | None = None,
 ) -> list[ScenarioResult]:
     """:func:`run_failure_sweep` fanned over a process pool.
 
@@ -105,8 +121,10 @@ def run_failure_sweep_parallel(
     identical to the serial sweep apart from ``solve_time_s`` wall
     clocks.  ``max_workers=None`` uses all CPUs; ``max_workers=1``, an
     unpicklable context, or a broken pool degrade gracefully to the
-    serial path (which remains the right choice for small sweeps — the
-    pool costs a fork + context ship per worker).
+    serial path.  Small heuristic-only sweeps (fewer than
+    ``min_parallel_tasks`` tasks, default 64, and no exact solver among
+    the algorithms) also run serially — pool startup cannot pay off
+    there; pass ``min_parallel_tasks=0`` to force the pool.
     """
     from repro.perf.sweep import parallel_sweep
 
@@ -116,4 +134,6 @@ def run_failure_sweep_parallel(
         algorithms,
         optimal_time_limit_s=optimal_time_limit_s,
         max_workers=max_workers,
+        optimal_compile=optimal_compile,
+        min_parallel_tasks=min_parallel_tasks,
     )

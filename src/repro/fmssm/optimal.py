@@ -7,6 +7,27 @@ the paper's "constraint of not interrupting active controllers' normal
 operations" under which "optimization solver may not always generate a
 feasible solution" — tight three-failure instances become genuinely
 infeasible and Optimal reports no result, matching Fig. 6.
+
+Two compilation routes produce the same standard form (asserted
+bit-identical by ``tests/test_perf_compile.py``):
+
+``compile="sparse"`` (default)
+    :mod:`repro.perf.compile` assembles the matrices directly from the
+    instance and, when ``warm_start="pm"``, seeds the solve with the PM
+    heuristic's solution.  PM's point doubles as an *optimality
+    certificate*: if its objective reaches the LP-relaxation bound to
+    within less than the objective's granularity (objectives live on the
+    grid ``integer + λ · integer``), PM is provably optimal and the MILP
+    solve is skipped entirely.
+``compile="model"``
+    The original readable route through the :mod:`repro.lp.model` DSL
+    and :func:`to_standard_form`, kept for cross-validation.
+
+Both routes report the *canonical* objective ``r + λ · obj2`` recomputed
+from the extracted solution (the same expression
+:func:`repro.fmssm.evaluation.evaluate_solution` uses), so equal optima
+compare bit-identical across routes; the solver's own value is kept in
+``meta["solver_objective"]``.
 """
 
 from __future__ import annotations
@@ -18,10 +39,16 @@ from repro.fmssm.formulation import FMSSMVariables, build_fmssm_model
 from repro.fmssm.instance import FMSSMInstance
 from repro.fmssm.solution import RecoverySolution
 from repro.lp import SolveResult, SolveStatus, solve
+from repro.lp.branch_and_bound import solve_form_with_bnb
+from repro.lp.highs import solve_form_relaxation, solve_form_with_highs
+from repro.pm.algorithm import solve_pm
 
 __all__ = ["solve_optimal", "extract_solution"]
 
 _BINARY_THRESHOLD = 0.5
+#: LP objective values below this are indistinguishable from solver noise,
+#: so certificates tighter than it are not trusted.
+_LP_NOISE_FLOOR = 1e-7
 
 
 def extract_solution(
@@ -64,12 +91,162 @@ def extract_solution(
     )
 
 
+def _canonical_objective(instance: FMSSMInstance, solution: RecoverySolution) -> float:
+    """``r + λ · obj2`` of ``solution``, exactly as the evaluator computes it.
+
+    Both integer terms are recomputed from the extracted pairs, so two
+    solutions with the same (least, total) programmability produce the
+    *same float* regardless of which solver or compile route found them.
+    """
+    programmability: dict[object, int] = {f: 0 for f in instance.flows}
+    for switch, flow_id in solution.active_pairs():
+        programmability[flow_id] += instance.pbar[(switch, flow_id)]
+    recoverable = instance.recoverable_flows
+    least = min((programmability[f] for f in recoverable), default=0)
+    return least + instance.lam * sum(programmability.values())
+
+
+def _certificate_tolerance(instance: FMSSMInstance) -> float | None:
+    """Half the objective grid spacing, or ``None`` when no safe gap exists.
+
+    Feasible objectives are ``a + λ·b`` with integers ``a ∈ [0, r_ub]``
+    and ``b ∈ [0, B]`` (``B`` = total max programmability).  When
+    ``λ·B < 1`` two distinct values differ by at least
+    ``min(λ, 1 − λ·B)`` (either ``a`` agrees and ``λ|Δb| ≥ λ``, or
+    ``|Δa| ≥ 1`` dominates ``λ|Δb| ≤ λ·B``).  A heuristic within half
+    that spacing of the LP dual bound is therefore *exactly* optimal.
+    Returns ``None`` when the spacing is not positive or sits below the
+    LP noise floor — the certificate is skipped then.
+    """
+    lam = float(instance.lam)
+    if lam == 0.0:
+        return 0.5  # objective is the integer r alone
+    spacing = min(lam, 1.0 - lam * instance.total_max_programmability())
+    if spacing <= 2.0 * _LP_NOISE_FLOOR:
+        return None
+    return 0.5 * spacing
+
+
+def _infeasible(meta: dict[str, object], elapsed: float) -> RecoverySolution:
+    return RecoverySolution(
+        algorithm="optimal", feasible=False, solve_time_s=elapsed, meta=meta
+    )
+
+
+def _solve_optimal_sparse(
+    instance: FMSSMInstance,
+    solver: str,
+    time_limit_s: float | None,
+    require_full_recovery: bool,
+    enforce_delay: bool,
+    warm_start: str | None,
+    compiler: object,
+) -> RecoverySolution:
+    # Imported lazily: repro.perf pulls in the sweep machinery, which
+    # imports this module back.
+    from repro.perf.compile import compile_fmssm
+
+    start = time.perf_counter()
+    compiled = compile_fmssm(
+        instance,
+        require_full_recovery=require_full_recovery,
+        enforce_delay=enforce_delay,
+        compiler=compiler,
+    )
+
+    seed_x = None
+    if warm_start == "pm":
+        pm = solve_pm(instance, enforce_delay=enforce_delay)
+        seed_x = compiled.embed_solution(pm)
+
+    certificate = False
+    result: SolveResult | None = None
+    if seed_x is not None:
+        relaxation = solve_form_relaxation(compiled.form)
+        if relaxation.status is SolveStatus.INFEASIBLE:
+            # The LP relaxing integrality is already infeasible, so the
+            # MILP is too (cannot happen with a validated seed except
+            # through numerical tolerance; trust the LP like B&B does).
+            return _infeasible(
+                {"status": "infeasible", "solver": relaxation.solver,
+                 "compile": "sparse"},
+                time.perf_counter() - start,
+            )
+        cert_tol = _certificate_tolerance(instance)
+        if (
+            relaxation.status is SolveStatus.OPTIMAL
+            and cert_tol is not None
+            and compiled.objective_value(seed_x) >= relaxation.objective - cert_tol
+        ):
+            # PM reaches the dual bound within less than the objective
+            # grid spacing: provably optimal, skip the MILP.
+            certificate = True
+            result = SolveResult(
+                status=SolveStatus.OPTIMAL,
+                objective=compiled.objective_value(seed_x),
+                x=seed_x,
+                solver=relaxation.solver,
+                wall_time_s=relaxation.wall_time_s,
+                gap=0.0,
+            )
+
+    if result is None:
+        if solver == "bnb":
+            result = solve_form_with_bnb(
+                compiled.form, time_limit_s=time_limit_s, warm_start=seed_x
+            )
+        else:
+            result = solve_form_with_highs(compiled.form, time_limit_s=time_limit_s)
+            if not result.is_feasible and seed_x is not None and (
+                result.status is SolveStatus.TIMEOUT
+            ):
+                # Feasibility fallback: HiGHS ran out of time with no
+                # incumbent, but the PM seed is a proven feasible point.
+                result = SolveResult(
+                    status=SolveStatus.FEASIBLE,
+                    objective=compiled.objective_value(seed_x),
+                    x=seed_x,
+                    solver="pm-fallback",
+                    wall_time_s=result.wall_time_s,
+                )
+
+    elapsed = time.perf_counter() - start
+    if not result.is_feasible or result.x is None:
+        return _infeasible(
+            {"status": result.status.value, "solver": result.solver,
+             "compile": "sparse"},
+            elapsed,
+        )
+
+    mapping, sdn_pairs = compiled.extract(result.x)
+    solution = RecoverySolution(
+        algorithm="optimal",
+        mapping=mapping,
+        sdn_pairs=sdn_pairs,
+        solve_time_s=elapsed,
+        feasible=True,
+        meta={
+            "status": result.status.value,
+            "solver": result.solver,
+            "gap": result.gap,
+            "compile": "sparse",
+            "certificate": certificate,
+            "solver_objective": result.objective,
+        },
+    )
+    solution.meta["objective"] = _canonical_objective(instance, solution)
+    return solution
+
+
 def solve_optimal(
     instance: FMSSMInstance,
     solver: str = "highs",
     time_limit_s: float | None = 600.0,
     require_full_recovery: bool = True,
     enforce_delay: bool = True,
+    compile: str = "sparse",
+    warm_start: str | None = "pm",
+    compiler: object = None,
 ) -> RecoverySolution:
     """Solve P′ to optimality and return the recovery solution.
 
@@ -77,7 +254,34 @@ def solve_optimal(
     ``feasible=False``) when the problem admits no solution under the
     full-recovery requirement or the solver times out without an
     incumbent — the cases the paper reports as "Optimal has no result".
+
+    Parameters
+    ----------
+    solver:
+        ``"highs"`` (default) or ``"bnb"``.
+    compile:
+        ``"sparse"`` routes through :mod:`repro.perf.compile` (fast
+        path); ``"model"`` through the original DSL (cross-validation).
+    warm_start:
+        ``"pm"`` seeds the solve with the PM heuristic (incumbent for
+        B&B, certificate/fallback for HiGHS); ``None`` solves cold.
+    compiler:
+        Optional :class:`~repro.perf.compile.FMSSMCompiler` to reuse
+        structural caches across scenarios (sparse route only).
     """
+    if compile == "sparse":
+        return _solve_optimal_sparse(
+            instance,
+            solver=solver,
+            time_limit_s=time_limit_s,
+            require_full_recovery=require_full_recovery,
+            enforce_delay=enforce_delay,
+            warm_start=warm_start,
+            compiler=compiler,
+        )
+    if compile != "model":
+        raise ValueError(f"unknown compile route {compile!r}")
+
     start = time.perf_counter()
     model, handles = build_fmssm_model(
         instance,
@@ -88,12 +292,14 @@ def solve_optimal(
     elapsed = time.perf_counter() - start
 
     if not result.is_feasible:
-        return RecoverySolution(
-            algorithm="optimal",
-            feasible=False,
-            solve_time_s=elapsed,
-            meta={"status": result.status.value, "solver": result.solver},
+        return _infeasible(
+            {"status": result.status.value, "solver": result.solver,
+             "compile": "model"},
+            elapsed,
         )
     solution = extract_solution(instance, handles, result)
     solution.solve_time_s = elapsed
+    solution.meta["compile"] = "model"
+    solution.meta["solver_objective"] = result.objective
+    solution.meta["objective"] = _canonical_objective(instance, solution)
     return solution

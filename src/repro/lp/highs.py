@@ -4,6 +4,15 @@ The paper solves problem P′ with Gurobi; offline we use
 :func:`scipy.optimize.milp` (the HiGHS solver), which solves the identical
 integer program to proven optimality.  See DESIGN.md for the substitution
 rationale.
+
+Two entry points are provided: :func:`solve_with_highs` takes a DSL
+:class:`~repro.lp.model.Model` and compiles it first, while
+:func:`solve_form_with_highs` takes an already-compiled
+:class:`~repro.lp.standard_form.StandardForm` directly — the fast path
+used by :mod:`repro.perf.compile`, which skips the modelling layer
+entirely.  :func:`solve_form_relaxation` solves the LP relaxation of a
+form, giving the dual bound the PM-seeded certificate in
+:mod:`repro.fmssm.optimal` compares against.
 """
 
 from __future__ import annotations
@@ -15,9 +24,9 @@ from scipy import optimize, sparse
 
 from repro.lp.model import Model
 from repro.lp.solution import SolveResult, SolveStatus
-from repro.lp.standard_form import to_standard_form
+from repro.lp.standard_form import StandardForm, to_standard_form
 
-__all__ = ["solve_with_highs"]
+__all__ = ["solve_with_highs", "solve_form_with_highs", "solve_form_relaxation"]
 
 # scipy.optimize.milp status codes (documented in scipy):
 _MILP_OPTIMAL = 0
@@ -27,25 +36,16 @@ _MILP_UNBOUNDED = 3
 _MILP_NUMERICAL = 4
 
 
-def solve_with_highs(
-    model: Model,
+def solve_form_with_highs(
+    form: StandardForm,
     time_limit_s: float | None = None,
     mip_rel_gap: float = 0.0,
 ) -> SolveResult:
-    """Solve ``model`` with HiGHS via :func:`scipy.optimize.milp`.
+    """Solve a compiled :class:`StandardForm` with HiGHS.
 
-    Parameters
-    ----------
-    model:
-        The model to solve (LP or MILP).
-    time_limit_s:
-        Optional wall-clock limit.  If hit with an incumbent, the result
-        status is :attr:`SolveStatus.FEASIBLE`; without one,
-        :attr:`SolveStatus.TIMEOUT`.
-    mip_rel_gap:
-        Relative optimality gap at which HiGHS may stop early.
+    The name-keyed ``values`` dict is only populated when the form
+    carries variable names; form-level callers read ``result.x``.
     """
-    form = to_standard_form(model)
     constraints = []
     if form.a_ub.shape[0]:
         constraints.append(
@@ -93,10 +93,13 @@ def solve_with_highs(
         status = SolveStatus.ERROR
 
     values: dict[str, float] = {}
+    x: np.ndarray | None = None
     objective = None
     gap = None
     if raw.x is not None:
-        values = {name: float(v) for name, v in zip(form.var_names, raw.x)}
+        x = np.asarray(raw.x)
+        if form.var_names:
+            values = {name: float(v) for name, v in zip(form.var_names, raw.x)}
         objective = form.objective_value(float(raw.fun))
         gap = getattr(raw, "mip_gap", None)
 
@@ -104,9 +107,75 @@ def solve_with_highs(
         status=status,
         objective=objective,
         values=values,
+        x=x,
         solver="highs",
         wall_time_s=elapsed,
         gap=gap,
         nodes=getattr(raw, "mip_node_count", None),
         message=str(getattr(raw, "message", "")),
+    )
+
+
+def solve_form_relaxation(form: StandardForm) -> SolveResult:
+    """Solve the LP relaxation of ``form`` (integrality dropped).
+
+    The relaxation's objective is a *dual bound* on the MILP: no integer
+    solution can beat it.  An infeasible relaxation proves the MILP
+    infeasible.  Used by the PM-seeded optimality certificate.
+    """
+    start = time.perf_counter()
+    raw = optimize.linprog(
+        c=form.c,
+        A_ub=form.a_ub if form.a_ub.shape[0] else None,
+        b_ub=form.b_ub if form.a_ub.shape[0] else None,
+        A_eq=form.a_eq if form.a_eq.shape[0] else None,
+        b_eq=form.b_eq if form.a_eq.shape[0] else None,
+        bounds=np.column_stack([form.lb, form.ub]),
+        method="highs",
+    )
+    elapsed = time.perf_counter() - start
+    if raw.status == 2:
+        return SolveResult(
+            status=SolveStatus.INFEASIBLE, solver="highs-lp", wall_time_s=elapsed
+        )
+    if raw.status == 3:
+        return SolveResult(
+            status=SolveStatus.UNBOUNDED, solver="highs-lp", wall_time_s=elapsed
+        )
+    if not raw.success:
+        return SolveResult(
+            status=SolveStatus.ERROR,
+            solver="highs-lp",
+            wall_time_s=elapsed,
+            message=str(getattr(raw, "message", "")),
+        )
+    return SolveResult(
+        status=SolveStatus.OPTIMAL,
+        objective=form.objective_value(float(raw.fun)),
+        x=np.asarray(raw.x),
+        solver="highs-lp",
+        wall_time_s=elapsed,
+    )
+
+
+def solve_with_highs(
+    model: Model,
+    time_limit_s: float | None = None,
+    mip_rel_gap: float = 0.0,
+) -> SolveResult:
+    """Solve ``model`` with HiGHS via :func:`scipy.optimize.milp`.
+
+    Parameters
+    ----------
+    model:
+        The model to solve (LP or MILP).
+    time_limit_s:
+        Optional wall-clock limit.  If hit with an incumbent, the result
+        status is :attr:`SolveStatus.FEASIBLE`; without one,
+        :attr:`SolveStatus.TIMEOUT`.
+    mip_rel_gap:
+        Relative optimality gap at which HiGHS may stop early.
+    """
+    return solve_form_with_highs(
+        to_standard_form(model), time_limit_s=time_limit_s, mip_rel_gap=mip_rel_gap
     )

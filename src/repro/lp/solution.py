@@ -4,8 +4,12 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.exceptions import SolverError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
 
 __all__ = ["SolveStatus", "SolveResult"]
 
@@ -33,7 +37,13 @@ class SolveResult:
         Objective value in the *model's* sense (``None`` unless a feasible
         point exists).
     values:
-        Variable name → value for the incumbent (empty when none).
+        Variable name → value for the incumbent (empty when none, or
+        when the model was solved from an unnamed standard form — use
+        ``x`` then).
+    x:
+        Raw incumbent vector in column order (``None`` when no incumbent
+        exists).  Form-level callers that track their own column layout
+        read this instead of the name-keyed ``values``.
     solver:
         Which backend produced the result (``"highs"`` or ``"bnb"``).
     wall_time_s:
@@ -49,6 +59,7 @@ class SolveResult:
     status: SolveStatus
     objective: float | None = None
     values: dict[str, float] = field(default_factory=dict)
+    x: "np.ndarray | None" = None
     solver: str = ""
     wall_time_s: float = 0.0
     gap: float | None = None

@@ -14,9 +14,28 @@ that cheap:
 :mod:`repro.perf.sweep`
     The process-pool machinery behind
     :func:`repro.experiments.runner.run_failure_sweep_parallel`.
+
+:mod:`repro.perf.compile`
+    Direct sparse compilation of problem P′ — the fast exact-solver
+    path behind ``solve_optimal(compile="sparse")``, with per-shape
+    structural caching across the scenarios of a sweep.
 """
 
 from repro.perf.coefficients import CoefficientTable
+from repro.perf.compile import (
+    CompiledFMSSM,
+    FMSSMCompiler,
+    compile_fmssm,
+    default_compiler,
+)
 from repro.perf.sweep import SweepPlan, parallel_sweep
 
-__all__ = ["CoefficientTable", "SweepPlan", "parallel_sweep"]
+__all__ = [
+    "CoefficientTable",
+    "SweepPlan",
+    "parallel_sweep",
+    "CompiledFMSSM",
+    "FMSSMCompiler",
+    "compile_fmssm",
+    "default_compiler",
+]

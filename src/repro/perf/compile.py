@@ -1,0 +1,421 @@
+"""Direct sparse compilation of problem P′ (the fast exact-solver path).
+
+:func:`repro.fmssm.formulation.build_fmssm_model` expresses P′ through
+the :mod:`repro.lp.model` DSL — one :class:`~repro.lp.model.Var` object
+per variable, one dict-backed :class:`~repro.lp.model.LinExpr` per
+constraint — and :func:`~repro.lp.standard_form.to_standard_form`
+re-walks all of it to emit matrices.  That is the right shape for
+readability and for small one-off models, but a failure sweep solves the
+*same* constraint family for every C(M, k) scenario, and the per-object
+DSL work dominates the compile cost.
+
+This module assembles the identical standard form directly as
+``scipy.sparse`` CSR blocks from an :class:`FMSSMInstance`, vectorized
+over (pair, controller) index arrays — no ``Var``/``LinExpr`` objects
+and no string-name dictionary lookups.  The variable and row layout
+mirrors the DSL path exactly:
+
+columns
+    ``x[s,c]`` switch-major (``s * M + c``), then per programmable pair
+    ``k``: ``y_k`` followed by ``w[k,0..M-1]``, and finally ``r``.
+rows (all ``<=`` after normalization)
+    Eq. (2) mapping rows, the Eqs. (9)–(11) McCormick triples in
+    (pair, controller) order, Eq. (12) capacity rows, Eq. (13)
+    programmability rows (negated ``>=``), and the Eq. (14) delay row.
+
+so the emitted ``A``/``b``/``c``/bounds/integrality are *identical* to
+``to_standard_form(build_fmssm_model(instance))`` — asserted by
+``tests/test_perf_compile.py``.
+
+Cross-scenario reuse: the purely structural index arrays (McCormick row
+numbers, ``w``/``y`` column layouts, capacity-row patterns) depend only
+on the (N, M, P) shape, so an :class:`FMSSMCompiler` caches them and
+every same-shaped scenario of a sweep slices from one master template
+instead of rebuilding.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import sparse
+
+from repro.fmssm.instance import FMSSMInstance
+from repro.fmssm.solution import RecoverySolution
+from repro.lp.standard_form import StandardForm
+from repro.types import ControllerId, FlowId, NodeId
+
+__all__ = ["CompiledFMSSM", "FMSSMCompiler", "compile_fmssm", "default_compiler"]
+
+#: Feasibility slack used when embedding heuristic solutions.
+_EMBED_TOL = 1e-6
+_BINARY_THRESHOLD = 0.5
+
+
+@dataclass
+class CompiledFMSSM:
+    """P′ in matrix standard form plus the index maps to read answers back.
+
+    The ``form`` is exactly what the DSL route produces; the remaining
+    fields let callers convert between :class:`RecoverySolution` objects
+    and raw solver vectors without any name-keyed dictionaries.
+    """
+
+    form: StandardForm
+    switches: tuple[NodeId, ...]
+    controllers: tuple[ControllerId, ...]
+    pairs: tuple[tuple[NodeId, FlowId], ...]
+    recoverable: tuple[FlowId, ...]
+    #: Column of ``x[s,c]`` is ``switch_index[s] * M + controller_index[c]``.
+    switch_index: dict[NodeId, int] = field(repr=False)
+    controller_index: dict[ControllerId, int] = field(repr=False)
+    #: Switch index of each pair, aligned with ``pairs``.
+    pair_switch_idx: np.ndarray = field(repr=False)
+    #: ``p̄`` of each pair, aligned with ``pairs``.
+    pbar_values: np.ndarray = field(repr=False)
+    r_col: int = 0
+
+    @property
+    def n_x(self) -> int:
+        """Number of ``x`` columns (N * M); also the first ``y`` column."""
+        return len(self.switches) * len(self.controllers)
+
+    def y_col(self, k: int) -> int:
+        """Column of ``y`` for pair ``k``."""
+        return self.n_x + k * (len(self.controllers) + 1)
+
+    def w_col(self, k: int, ci: int) -> int:
+        """Column of ``w`` for pair ``k`` under controller index ``ci``."""
+        return self.y_col(k) + 1 + ci
+
+    # ------------------------------------------------------------------
+    # Solution <-> vector conversion
+    # ------------------------------------------------------------------
+    def embed_solution(self, solution: RecoverySolution) -> np.ndarray | None:
+        """A feasible point of the compiled form from a heuristic solution.
+
+        The switch mapping fills ``x``, served SDN pairs fill ``y``/``w``
+        (a pair served by a controller other than its switch's mapping
+        cannot be expressed in P′ and fails the feasibility check), and
+        ``r`` takes the largest value Eq. (13) permits.  Returns ``None``
+        when the embedded point violates the form — e.g. the solution is
+        infeasible under ``r >= 1`` full recovery, breaks the delay
+        bound, or is not a switch-level solution.
+        """
+        if not solution.feasible:
+            return None
+        m = len(self.controllers)
+        x = np.zeros(self.form.n_vars)
+        for switch, controller in solution.mapping.items():
+            si = self.switch_index.get(switch)
+            ci = self.controller_index.get(controller)
+            if si is None or ci is None:
+                return None
+            x[si * m + ci] = 1.0
+        pair_index = {pair: k for k, pair in enumerate(self.pairs)}
+        pro: dict[FlowId, float] = {flow: 0.0 for flow in self.recoverable}
+        for switch, flow_id in solution.active_pairs():
+            k = pair_index.get((switch, flow_id))
+            if k is None:
+                return None
+            controller = solution.controller_for_pair(switch, flow_id)
+            ci = self.controller_index.get(controller)
+            if ci is None:
+                return None
+            x[self.y_col(k)] = 1.0
+            x[self.w_col(k, ci)] = 1.0
+            if flow_id in pro:
+                pro[flow_id] += self.pbar_values[k]
+        if self.recoverable:
+            x[self.r_col] = min(float(self.form.ub[self.r_col]), min(pro.values()))
+        if not self.is_feasible_point(x):
+            return None
+        return x
+
+    def is_feasible_point(self, x: np.ndarray, tol: float = _EMBED_TOL) -> bool:
+        """Whether ``x`` satisfies the form's rows and bounds within ``tol``."""
+        if np.any(x < self.form.lb - tol) or np.any(x > self.form.ub + tol):
+            return False
+        if self.form.a_ub.shape[0] and np.any(self.form.a_ub @ x > self.form.b_ub + tol):
+            return False
+        if self.form.a_eq.shape[0] and np.any(
+            np.abs(self.form.a_eq @ x - self.form.b_eq) > tol
+        ):
+            return False
+        return True
+
+    def objective_value(self, x: np.ndarray) -> float:
+        """Objective of ``x`` in the model's (maximization) sense."""
+        return self.form.objective_value(float(self.form.c @ x))
+
+    def extract(self, x: np.ndarray) -> tuple[dict[NodeId, ControllerId], set[tuple[NodeId, FlowId]]]:
+        """Read (mapping, SDN pairs) from a solver vector.
+
+        Matches :func:`repro.fmssm.optimal.extract_solution` semantics:
+        the mapping comes from ``x`` columns, activated pairs from ``w``.
+        """
+        m = len(self.controllers)
+        mapping: dict[NodeId, ControllerId] = {}
+        for col in np.flatnonzero(x[: self.n_x] > _BINARY_THRESHOLD):
+            mapping[self.switches[col // m]] = self.controllers[col % m]
+        sdn_pairs: set[tuple[NodeId, FlowId]] = set()
+        if self.pairs:
+            stride = m + 1
+            block = x[self.n_x : self.n_x + len(self.pairs) * stride].reshape(-1, stride)
+            for k in np.flatnonzero(np.any(block[:, 1:] > _BINARY_THRESHOLD, axis=1)):
+                sdn_pairs.add(self.pairs[k])
+        return mapping, sdn_pairs
+
+
+class FMSSMCompiler:
+    """Compiles instances to :class:`CompiledFMSSM`, reusing structure.
+
+    One compiler per sweep (or the module default) keeps an LRU cache of
+    the shape-only index arrays keyed by (N, M, P); scenarios sharing a
+    shape pay only for the scenario-specific numbers (``p̄``, delays,
+    spare capacities, bounds).
+    """
+
+    def __init__(self, max_cached_shapes: int = 32) -> None:
+        self._max_cached_shapes = max_cached_shapes
+        self._shapes: OrderedDict[tuple[int, int, int], dict[str, np.ndarray]] = OrderedDict()
+
+    def _shape_arrays(self, n: int, m: int, p: int) -> dict[str, np.ndarray]:
+        """Structural index arrays for an (N, M, P)-shaped instance."""
+        key = (n, m, p)
+        cached = self._shapes.get(key)
+        if cached is not None:
+            self._shapes.move_to_end(key)
+            return cached
+        n_x = n * m
+        q = p * m  # number of w variables
+        w_cols = n_x + np.repeat(np.arange(p, dtype=np.int64) * (m + 1) + 1, m) + np.tile(
+            np.arange(m, dtype=np.int64), p
+        )
+        y_cols = n_x + np.arange(p, dtype=np.int64) * (m + 1)
+        y_cols_rep = np.repeat(y_cols, m)
+        ci_tile = np.tile(np.arange(m, dtype=np.int64), p)
+        mc_base = n + 3 * np.arange(q, dtype=np.int64)
+        arrays = {
+            # Eq. (2) mapping rows: one row per switch over its M x columns.
+            "map_rows": np.repeat(np.arange(n, dtype=np.int64), m),
+            "map_cols": np.arange(n_x, dtype=np.int64),
+            # w/y column layout in (pair, controller) order.
+            "w_cols": w_cols,
+            "y_cols_rep": y_cols_rep,
+            "ci_tile": ci_tile,
+            # McCormick row numbers: triples (wx, wy, wxy) per w variable.
+            "wx_rows": mc_base,
+            "wy_rows": mc_base + 1,
+            "wxy_rows": mc_base + 2,
+            # Capacity rows: w columns grouped by controller.
+            "cap_rows": n + 3 * q + ci_tile,
+            "mccormick_b": np.tile(np.array([0.0, 0.0, 1.0]), q),
+            "ones_q": np.ones(q),
+            "neg_ones_q": np.full(q, -1.0),
+        }
+        self._shapes[key] = arrays
+        if len(self._shapes) > self._max_cached_shapes:
+            self._shapes.popitem(last=False)
+        return arrays
+
+    def compile(
+        self,
+        instance: FMSSMInstance,
+        require_full_recovery: bool = False,
+        enforce_delay: bool = True,
+        with_names: bool = False,
+    ) -> CompiledFMSSM:
+        """Compile ``instance`` to the standard form of problem P′.
+
+        Parameters mirror :func:`~repro.fmssm.formulation.build_fmssm_model`;
+        ``with_names`` additionally emits the DSL's variable names (used
+        by equivalence tests — the hot path leaves them empty and works
+        with raw column indices instead).
+        """
+        switches = instance.switches
+        controllers = instance.controllers
+        pairs = instance.pairs
+        n, m, p = len(switches), len(controllers), len(pairs)
+        n_x = n * m
+        q = p * m
+        n_vars = n_x + p * (m + 1) + 1
+        r_col = n_vars - 1
+        shape = self._shape_arrays(n, m, p)
+
+        switch_index = {s: i for i, s in enumerate(switches)}
+        controller_index = {c: i for i, c in enumerate(controllers)}
+        pair_switch_idx = np.fromiter(
+            (switch_index[s] for s, _ in pairs), dtype=np.int64, count=p
+        )
+        pbar_values = np.fromiter(
+            (float(instance.pbar[pair]) for pair in pairs), dtype=np.float64, count=p
+        )
+
+        recoverable = instance.recoverable_flows
+        if recoverable:
+            r_ub = float(min(instance.max_programmability(f) for f in recoverable))
+            r_lb = 1.0 if require_full_recovery else 0.0
+        else:
+            r_ub = 0.0
+            r_lb = 0.0
+
+        # x column of each w variable, in (pair, controller) order.
+        x_cols_rep = np.repeat(pair_switch_idx, m) * m + shape["ci_tile"]
+        w_cols = shape["w_cols"]
+        pbar_rep = np.repeat(pbar_values, m)
+
+        data_blocks: list[np.ndarray] = []
+        row_blocks: list[np.ndarray] = []
+        col_blocks: list[np.ndarray] = []
+        b_blocks: list[np.ndarray] = []
+
+        def block(rows: np.ndarray, cols: np.ndarray, values: np.ndarray) -> None:
+            row_blocks.append(rows)
+            col_blocks.append(cols)
+            data_blocks.append(values)
+
+        # Eq. (2): each switch maps to at most one controller.
+        block(shape["map_rows"], shape["map_cols"], np.ones(n_x))
+        b_blocks.append(np.ones(n))
+        n_rows = n
+
+        if p:
+            # Eqs. (9)-(11): w <= x, w <= y, x + y - w <= 1.
+            block(shape["wx_rows"], w_cols, shape["ones_q"])
+            block(shape["wx_rows"], x_cols_rep, shape["neg_ones_q"])
+            block(shape["wy_rows"], w_cols, shape["ones_q"])
+            block(shape["wy_rows"], shape["y_cols_rep"], shape["neg_ones_q"])
+            block(shape["wxy_rows"], x_cols_rep, shape["ones_q"])
+            block(shape["wxy_rows"], shape["y_cols_rep"], shape["ones_q"])
+            block(shape["wxy_rows"], w_cols, shape["neg_ones_q"])
+            b_blocks.append(shape["mccormick_b"])
+            n_rows += 3 * q
+
+            # Eq. (12): controller capacity over SDN pairs.
+            block(shape["cap_rows"], w_cols, shape["ones_q"])
+            b_blocks.append(
+                np.fromiter(
+                    (float(instance.spare[c]) for c in controllers),
+                    dtype=np.float64,
+                    count=m,
+                )
+            )
+            n_rows += m
+
+        # Eq. (13): pro^l >= r per recoverable flow, negated to <= form.
+        n_rec = len(recoverable)
+        if n_rec:
+            flow_row = {f: i for i, f in enumerate(recoverable)}
+            pair_flow_row = np.fromiter(
+                (flow_row[f] for _, f in pairs), dtype=np.int64, count=p
+            )
+            pro_rows_rep = n_rows + np.repeat(pair_flow_row, m)
+            block(pro_rows_rep, w_cols, -pbar_rep)
+            block(
+                n_rows + np.arange(n_rec, dtype=np.int64),
+                np.full(n_rec, r_col, dtype=np.int64),
+                np.ones(n_rec),
+            )
+            b_blocks.append(np.zeros(n_rec))
+            n_rows += n_rec
+
+        # Eq. (14): total switch-controller delay bounded by G.
+        if enforce_delay and q:
+            delay_matrix = np.array(
+                [[float(instance.delay[(s, c)]) for c in controllers] for s in switches]
+            )
+            block(
+                np.full(q, n_rows, dtype=np.int64),
+                w_cols,
+                delay_matrix[pair_switch_idx].ravel(),
+            )
+            b_blocks.append(np.array([float(instance.ideal_delay_ms)]))
+            n_rows += 1
+
+        a_ub = sparse.csr_matrix(
+            (
+                np.concatenate(data_blocks),
+                (np.concatenate(row_blocks), np.concatenate(col_blocks)),
+            ),
+            shape=(n_rows, n_vars),
+        )
+        b_ub = np.concatenate(b_blocks)
+
+        # Objective max(r + lambda * sum(pbar * w)), negated to min form.
+        c = np.zeros(n_vars)
+        if q:
+            c[w_cols] = -instance.lam * pbar_rep
+        c[r_col] = -1.0
+
+        lb = np.zeros(n_vars)
+        ub = np.ones(n_vars)
+        lb[r_col] = r_lb
+        ub[r_col] = r_ub
+        integrality = np.ones(n_vars)
+        integrality[r_col] = 0.0
+
+        var_names: tuple[str, ...] = ()
+        if with_names:
+            names: list[str] = [
+                f"x[{s},{c_}]" for s in switches for c_ in controllers
+            ]
+            for s, f in pairs:
+                names.append(f"y[{s},{f}]")
+                names.extend(f"w[{s},{c_},{f}]" for c_ in controllers)
+            names.append("r")
+            var_names = tuple(names)
+
+        form = StandardForm(
+            c=c,
+            a_ub=a_ub,
+            b_ub=b_ub,
+            a_eq=sparse.csr_matrix((0, n_vars)),
+            b_eq=np.zeros(0),
+            lb=lb,
+            ub=ub,
+            integrality=integrality,
+            maximize=True,
+            objective_constant=-0.0,
+            var_names=var_names,
+        )
+        return CompiledFMSSM(
+            form=form,
+            switches=switches,
+            controllers=controllers,
+            pairs=pairs,
+            recoverable=recoverable,
+            switch_index=switch_index,
+            controller_index=controller_index,
+            pair_switch_idx=pair_switch_idx,
+            pbar_values=pbar_values,
+            r_col=r_col,
+        )
+
+
+#: Process-wide compiler shared by default — sweeps and repeated solves
+#: in one process reuse the same structural template cache.
+_DEFAULT_COMPILER = FMSSMCompiler()
+
+
+def default_compiler() -> FMSSMCompiler:
+    """The process-wide shared compiler."""
+    return _DEFAULT_COMPILER
+
+
+def compile_fmssm(
+    instance: FMSSMInstance,
+    require_full_recovery: bool = False,
+    enforce_delay: bool = True,
+    with_names: bool = False,
+    compiler: FMSSMCompiler | None = None,
+) -> CompiledFMSSM:
+    """Compile ``instance`` with ``compiler`` (default: the shared one)."""
+    return (compiler or _DEFAULT_COMPILER).compile(
+        instance,
+        require_full_recovery=require_full_recovery,
+        enforce_delay=enforce_delay,
+        with_names=with_names,
+    )

@@ -45,10 +45,17 @@ class SweepPlan:
     context: "ExperimentContext"  # noqa: F821 - imported lazily (cycle)
     scenarios: tuple[FailureScenario, ...]
     optimal_time_limit_s: float = 300.0
+    optimal_compile: str = "sparse"
 
 
 #: Per-worker state, populated by :func:`_init_worker`.
 _WORKER: dict[str, SweepPlan] = {}
+
+#: Algorithms whose per-task cost dwarfs pool overhead (exact solves).
+_HEAVY_ALGORITHMS = frozenset({"optimal", "optimal-two-stage", "retroflow-ip"})
+
+#: Below this many heuristic-only tasks, pool startup cannot pay off.
+_MIN_PARALLEL_TASKS = 64
 
 
 def _init_worker(payload: bytes) -> None:
@@ -56,10 +63,17 @@ def _init_worker(payload: bytes) -> None:
     _WORKER["plan"] = pickle.loads(payload)
 
 
-def _solve(instance: FMSSMInstance, algorithm: str, time_limit_s: float) -> RecoverySolution:
+def _solve(
+    instance: FMSSMInstance,
+    algorithm: str,
+    time_limit_s: float,
+    optimal_compile: str = "sparse",
+) -> RecoverySolution:
     """Run one algorithm on one instance (same routing as the serial path)."""
     if algorithm == "optimal":
-        return solve_optimal(instance, time_limit_s=time_limit_s)
+        return solve_optimal(
+            instance, time_limit_s=time_limit_s, compile=optimal_compile
+        )
     return get_algorithm(algorithm)(instance)
 
 
@@ -70,7 +84,9 @@ def _run_task(
     index, algorithm = task
     plan = _WORKER["plan"]
     instance = plan.context.instance(plan.scenarios[index])
-    solution = _solve(instance, algorithm, plan.optimal_time_limit_s)
+    solution = _solve(
+        instance, algorithm, plan.optimal_time_limit_s, plan.optimal_compile
+    )
     return index, algorithm, solution, evaluate_solution(instance, solution)
 
 
@@ -80,6 +96,8 @@ def parallel_sweep(
     algorithms: Sequence[str],
     optimal_time_limit_s: float = 300.0,
     max_workers: int | None = None,
+    optimal_compile: str = "sparse",
+    min_parallel_tasks: int | None = None,
 ) -> "list[ScenarioResult]":  # noqa: F821
     """Run ``scenarios`` × ``algorithms`` over a process pool.
 
@@ -87,6 +105,12 @@ def parallel_sweep(
     order preserved, exactly as the serial sweep produces them.  Falls
     back to the serial path when ``max_workers`` resolves to ≤ 1, when
     the plan or a result refuses to pickle, or when the pool breaks.
+
+    Small heuristic-only sweeps also stay serial: forking a pool and
+    shipping the context costs tens of milliseconds, which a handful of
+    sub-millisecond PM/RetroFlow tasks can never repay.  Any algorithm
+    in ``_HEAVY_ALGORITHMS`` (exact solves) disables the heuristic, as
+    does ``min_parallel_tasks=0``.
     """
     import os
 
@@ -97,11 +121,22 @@ def parallel_sweep(
 
     def serial() -> list[ScenarioResult]:
         return [
-            run_scenario(context, scenario, algorithms, optimal_time_limit_s)
+            run_scenario(
+                context,
+                scenario,
+                algorithms,
+                optimal_time_limit_s,
+                optimal_compile=optimal_compile,
+            )
             for scenario in scenarios
         ]
 
     tasks = [(i, a) for i in range(len(scenarios)) for a in algorithms]
+    if min_parallel_tasks is None:
+        min_parallel_tasks = _MIN_PARALLEL_TASKS
+    heuristics_only = not any(a in _HEAVY_ALGORITHMS for a in algorithms)
+    if heuristics_only and len(tasks) < min_parallel_tasks:
+        return serial()
     if max_workers is None:
         max_workers = os.cpu_count() or 1
     workers = min(max_workers, len(tasks))
@@ -116,7 +151,7 @@ def parallel_sweep(
         pass
     try:
         payload = pickle.dumps(
-            SweepPlan(context, scenarios, optimal_time_limit_s),
+            SweepPlan(context, scenarios, optimal_time_limit_s, optimal_compile),
             protocol=pickle.HIGHEST_PROTOCOL,
         )
     except Exception:  # unpicklable context/scenarios: stay serial

@@ -42,6 +42,7 @@ example generalizes ambiguously; we provide two well-defined strategies:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from weakref import WeakKeyDictionary
 
 import networkx as nx
 
@@ -56,7 +57,33 @@ __all__ = [
     "ShortestDagCounter",
     "LoopFreeAlternateCounter",
     "make_counter",
+    "shared_hop_distances",
 ]
+
+#: Per-topology cache of per-destination hop-distance maps.  Counters of
+#: different strategies (and several counters on one topology, as a
+#: coefficient-table build creates) share one BFS per destination instead
+#: of each recomputing it.  Keyed weakly so dropping the topology drops
+#: its distances.
+_HOP_DISTANCES: "WeakKeyDictionary[Topology, dict[NodeId, dict[NodeId, int]]]" = (
+    WeakKeyDictionary()
+)
+
+
+def shared_hop_distances(topology: Topology, dst: NodeId) -> dict[NodeId, int]:
+    """Hop distances of every node to ``dst``, cached per topology.
+
+    The returned dict is shared — callers must treat it as read-only.
+    """
+    per_topology = _HOP_DISTANCES.get(topology)
+    if per_topology is None:
+        per_topology = {}
+        _HOP_DISTANCES[topology] = per_topology
+    distances = per_topology.get(dst)
+    if distances is None:
+        distances = hop_distances_to(topology, dst)
+        per_topology[dst] = distances
+    return distances
 
 
 class PathCounter(ABC):
@@ -117,7 +144,6 @@ class BoundedSimplePathCounter(PathCounter):
         super().__init__(topology)
         self._slack = slack
         self._max_count = max_count
-        self._hop_dist: dict[NodeId, dict[NodeId, int]] = {}
 
     @property
     def slack(self) -> int:
@@ -125,9 +151,7 @@ class BoundedSimplePathCounter(PathCounter):
         return self._slack
 
     def _distances(self, dst: NodeId) -> dict[NodeId, int]:
-        if dst not in self._hop_dist:
-            self._hop_dist[dst] = hop_distances_to(self._topology, dst)
-        return self._hop_dist[dst]
+        return shared_hop_distances(self._topology, dst)
 
     def _count(self, src: NodeId, dst: NodeId) -> int:
         dist = self._distances(dst)
@@ -240,7 +264,6 @@ class LoopFreeAlternateCounter(PathCounter):
             raise ValueError(f"slack must be non-negative: {slack!r}")
         super().__init__(topology)
         self._slack = slack
-        self._dist: dict[NodeId, dict[NodeId, int]] = {}
         self._dist_excluding: dict[tuple[NodeId, NodeId], dict[NodeId, int]] = {}
 
     @property
@@ -249,9 +272,7 @@ class LoopFreeAlternateCounter(PathCounter):
         return self._slack
 
     def _distances(self, dst: NodeId) -> dict[NodeId, int]:
-        if dst not in self._dist:
-            self._dist[dst] = hop_distances_to(self._topology, dst)
-        return self._dist[dst]
+        return shared_hop_distances(self._topology, dst)
 
     def _distances_excluding(self, dst: NodeId, excluded: NodeId) -> dict[NodeId, int]:
         """Hop distances to ``dst`` in the graph without ``excluded``."""

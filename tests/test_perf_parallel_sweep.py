@@ -78,3 +78,72 @@ class TestDegradation:
             small_context, 1, algorithms, 60.0, max_workers=2
         )
         assert_sweeps_identical(serial, parallel)
+
+    def test_optimal_compile_routes_agree(self, small_context):
+        """Sweeps solving Optimal via sparse and DSL routes agree.
+
+        Either route may return a different *tie-breaking* among alternate
+        optima, so solutions are compared on verdicts and objective values
+        (bit-identical canonical objectives), not on the chosen mapping.
+        """
+        algorithms = ("optimal", "pm")
+        sparse = run_failure_sweep(
+            small_context, 1, algorithms, 60.0, optimal_compile="sparse"
+        )
+        model = run_failure_sweep(
+            small_context, 1, algorithms, 60.0, optimal_compile="model"
+        )
+        assert [r.name for r in model] == [r.name for r in sparse]
+        for m, s in zip(model, sparse):
+            mo, so = m.solutions["optimal"], s.solutions["optimal"]
+            assert mo.feasible == so.feasible
+            if mo.feasible:
+                assert mo.meta["objective"] == so.meta["objective"]
+                me, se = m.evaluations["optimal"], s.evaluations["optimal"]
+                assert me.least_programmability == se.least_programmability
+                assert me.total_programmability == se.total_programmability
+                assert me.objective == se.objective
+            # PM is deterministic and route-independent.
+            assert m.solutions["pm"].mapping == s.solutions["pm"].mapping
+            assert m.solutions["pm"].sdn_pairs == s.solutions["pm"].sdn_pairs
+
+
+class TestSmallSweepHeuristic:
+    def test_small_heuristic_sweep_stays_serial(self, small_context, monkeypatch):
+        """Few heuristic-only tasks must not pay for a process pool."""
+        from repro.perf import sweep as sweep_module
+
+        def forbidden(*args, **kwargs):
+            raise AssertionError("pool must not start for a small heuristic sweep")
+
+        monkeypatch.setattr(sweep_module, "ProcessPoolExecutor", forbidden)
+        serial = run_failure_sweep(small_context, 1, FAST_ALGORITHMS)
+        parallel = run_failure_sweep_parallel(
+            small_context, 1, FAST_ALGORITHMS, max_workers=4
+        )
+        assert_sweeps_identical(serial, parallel)
+
+    def test_min_parallel_tasks_zero_forces_pool(self, small_context):
+        """The override disables the serial heuristic without changing output."""
+        serial = run_failure_sweep(small_context, 1, FAST_ALGORITHMS)
+        forced = run_failure_sweep_parallel(
+            small_context, 1, FAST_ALGORITHMS, max_workers=2, min_parallel_tasks=0
+        )
+        assert_sweeps_identical(serial, forced)
+
+    def test_heavy_algorithm_disables_heuristic(self, small_context, monkeypatch):
+        """An exact solver in the mix goes parallel even on small sweeps."""
+        from repro.perf import sweep as sweep_module
+
+        used = {"pool": False}
+        real_pool = sweep_module.ProcessPoolExecutor
+
+        def spy(*args, **kwargs):
+            used["pool"] = True
+            return real_pool(*args, **kwargs)
+
+        monkeypatch.setattr(sweep_module, "ProcessPoolExecutor", spy)
+        run_failure_sweep_parallel(
+            small_context, 1, ("optimal", "pm"), 60.0, max_workers=2
+        )
+        assert used["pool"]

@@ -10,6 +10,7 @@ from repro.routing.path_count import (
     LoopFreeAlternateCounter,
     ShortestDagCounter,
     make_counter,
+    shared_hop_distances,
 )
 from repro.topology.generators import grid_topology, ring_topology, star_topology
 
@@ -130,3 +131,23 @@ class TestMakeCounter:
     def test_unknown_strategy(self, grid):
         with pytest.raises(RoutingError, match="unknown counting strategy"):
             make_counter(grid, "magic")
+
+
+class TestSharedHopDistances:
+    def test_counters_share_one_bfs_per_destination(self, grid):
+        """Different counter instances/strategies reuse the same map."""
+        lfa = LoopFreeAlternateCounter(grid)
+        bounded = BoundedSimplePathCounter(grid)
+        assert lfa._distances(8) is bounded._distances(8)
+        assert lfa._distances(8) is shared_hop_distances(grid, 8)
+
+    def test_cache_is_per_topology(self):
+        a, b = ring_topology(6), ring_topology(6)
+        assert shared_hop_distances(a, 0) is not shared_hop_distances(b, 0)
+        # Same distances, distinct cache entries.
+        assert shared_hop_distances(a, 0) == shared_hop_distances(b, 0)
+
+    def test_distances_are_correct(self, ring):
+        distances = shared_hop_distances(ring, 0)
+        assert distances[0] == 0
+        assert distances[3] == 3  # opposite side of the 6-ring
