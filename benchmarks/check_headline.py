@@ -17,13 +17,17 @@ Rules
 * A stage present in the baseline but missing from the current run fails
   (a silently dropped benchmark looks like a perf win).
 * New stages in the current run pass (they become baseline next refresh).
+* Degraded solves (``degraded_solves`` section: pm-fallbacks, ladder
+  demotions) may exceed the baseline total by at most ``--degraded-slack``
+  (default 5).  A solver change that silently mass-degrades to the PM
+  heuristic would otherwise read as a massive speedup.
 
 Usage::
 
     python benchmarks/check_headline.py \
         [--current BENCH_headline.json] \
         [--baseline benchmarks/BENCH_baseline.json] \
-        [--tolerance 10.0] [--floor-s 0.05]
+        [--tolerance 10.0] [--floor-s 0.05] [--degraded-slack 5]
 
 Refresh the baseline by copying a representative ``BENCH_headline.json``
 over ``benchmarks/BENCH_baseline.json`` and committing it.
@@ -45,16 +49,53 @@ DEFAULT_TOLERANCE = 10.0
 #: Stages faster than this (in either file) are compared against the
 #: floor instead — sub-50 ms timings are dominated by scheduler jitter.
 DEFAULT_FLOOR_S = 0.05
+#: How many more degraded solves than the baseline are acceptable (a
+#: genuinely hard instance may time out on a slow runner; dozens doing
+#: so means the exact solver is broken).
+DEFAULT_DEGRADED_SLACK = 5
 
 
-def load_stages(path: Path) -> dict[str, float]:
+def load_headline(path: Path) -> dict:
     payload = json.loads(path.read_text())
     if payload.get("schema") != 1 or payload.get("unit") != "seconds":
         raise SystemExit(f"{path}: unsupported headline schema: {payload!r}")
+    return payload
+
+
+def load_stages(path: Path) -> dict[str, float]:
+    payload = load_headline(path)
     stages = payload.get("stages")
     if not isinstance(stages, dict) or not stages:
         raise SystemExit(f"{path}: stages must be a non-empty mapping")
     return {name: float(seconds) for name, seconds in stages.items()}
+
+
+def load_degraded(path: Path) -> dict[str, int]:
+    """The ``degraded_solves`` section; empty for pre-section headlines."""
+    degraded = load_headline(path).get("degraded_solves", {})
+    if not isinstance(degraded, dict):
+        raise SystemExit(f"{path}: degraded_solves must be a mapping")
+    return {name: int(count) for name, count in degraded.items()}
+
+
+def compare_degraded(
+    current: dict[str, int],
+    baseline: dict[str, int],
+    slack: int = DEFAULT_DEGRADED_SLACK,
+) -> list[str]:
+    """Failure messages when solves silently mass-degraded to fallbacks."""
+    current_total = sum(current.values())
+    baseline_total = sum(baseline.values())
+    if current_total > baseline_total + slack:
+        detail = ", ".join(
+            f"{name}={count}" for name, count in sorted(current.items()) if count
+        ) or "none attributed"
+        return [
+            f"degraded solves: {current_total} exceeds baseline "
+            f"{baseline_total} + slack {slack} ({detail}) — the exact solver "
+            f"is silently falling back to heuristics"
+        ]
+    return []
 
 
 def compare(
@@ -85,11 +126,23 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
     parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE)
     parser.add_argument("--floor-s", type=float, default=DEFAULT_FLOOR_S)
+    parser.add_argument(
+        "--degraded-slack", type=int, default=DEFAULT_DEGRADED_SLACK
+    )
     args = parser.parse_args(argv)
 
     current = load_stages(args.current)
     baseline = load_stages(args.baseline)
     failures = compare(current, baseline, args.tolerance, args.floor_s)
+    cur_degraded = load_degraded(args.current)
+    failures += compare_degraded(
+        cur_degraded, load_degraded(args.baseline), args.degraded_slack
+    )
+    if sum(cur_degraded.values()):
+        detail = ", ".join(
+            f"{name}={count}" for name, count in sorted(cur_degraded.items()) if count
+        )
+        print(f"degraded solves: {detail}")
 
     width = max(len(s) for s in sorted(set(current) | set(baseline)))
     for stage in sorted(set(current) | set(baseline)):

@@ -33,6 +33,10 @@ BENCH_HEADLINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_headline.j
 _STAGES: dict[str, float] = {}
 #: Total solver seconds per algorithm, accumulated across all sweeps.
 _ALGORITHM_SOLVE_S: dict[str, float] = {}
+#: Solves per sweep that ran on a fallback path (pm-fallback, ladder
+#: demotion, serial-fallback) — a mass degradation here means the exact
+#: solver silently died and "performance" is really the heuristic's.
+_DEGRADED_SOLVES: dict[str, int] = {}
 
 
 def record_stage(name: str, seconds: float) -> None:
@@ -41,13 +45,20 @@ def record_stage(name: str, seconds: float) -> None:
 
 
 def record_sweep(name: str, seconds: float, results) -> None:
-    """Record a sweep's total wall clock and its per-algorithm solve time."""
+    """Record a sweep's wall clock, per-algorithm solve time, and how
+    many of its solves degraded to a fallback path."""
     record_stage(name, seconds)
+    degraded = 0
     for result in results:
         for algorithm, solution in result.solutions.items():
             _ALGORITHM_SOLVE_S[algorithm] = (
                 _ALGORITHM_SOLVE_S.get(algorithm, 0.0) + solution.solve_time_s
             )
+            if solution.meta.get("degraded") or (
+                solution.meta.get("solver") == "pm-fallback"
+            ):
+                degraded += 1
+    _DEGRADED_SOLVES[name] = _DEGRADED_SOLVES.get(name, 0) + degraded
 
 
 def pytest_sessionfinish(session, exitstatus):
@@ -60,6 +71,7 @@ def pytest_sessionfinish(session, exitstatus):
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "stages": dict(sorted(_STAGES.items())),
         "per_algorithm_solve_s": dict(sorted(_ALGORITHM_SOLVE_S.items())),
+        "degraded_solves": dict(sorted(_DEGRADED_SOLVES.items())),
         "sweep_total_s": sum(v for k, v in _STAGES.items() if k.startswith("sweep_")),
     }
     BENCH_HEADLINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.baselines import get_algorithm
 from repro.control.failures import FailureScenario, enumerate_failure_scenarios
@@ -11,6 +12,9 @@ from repro.experiments.scenarios import ExperimentContext
 from repro.fmssm.evaluation import RecoveryEvaluation, evaluate_solution
 from repro.fmssm.optimal import solve_optimal
 from repro.fmssm.solution import RecoverySolution
+
+if TYPE_CHECKING:
+    from repro.resilience.degradation import DegradationReport, LadderPolicy
 
 __all__ = [
     "ScenarioResult",
@@ -31,6 +35,10 @@ class ScenarioResult:
     scenario: FailureScenario
     evaluations: dict[str, RecoveryEvaluation] = field(default_factory=dict)
     solutions: dict[str, RecoverySolution] = field(default_factory=dict)
+    #: Execution audit trail (mode, ladder demotions, checkpoint restores).
+    #: ``None`` for results from the plain serial runner, which has no
+    #: degradation machinery to report on.
+    degradation: "DegradationReport | None" = None
 
     @property
     def name(self) -> str:
@@ -112,6 +120,10 @@ def run_failure_sweep_parallel(
     max_workers: int | None = None,
     optimal_compile: str = "sparse",
     min_parallel_tasks: int | None = None,
+    ladder: "LadderPolicy | None" = None,
+    validate: bool = False,
+    checkpoint_path: object = None,
+    checkpoint_every: int = 4,
 ) -> list[ScenarioResult]:
     """:func:`run_failure_sweep` fanned over a process pool.
 
@@ -125,6 +137,10 @@ def run_failure_sweep_parallel(
     ``min_parallel_tasks`` tasks, default 64, and no exact solver among
     the algorithms) also run serially — pool startup cannot pay off
     there; pass ``min_parallel_tasks=0`` to force the pool.
+
+    ``ladder``, ``validate``, ``checkpoint_path`` and
+    ``checkpoint_every`` enable the resilience layer; see
+    :func:`repro.perf.sweep.parallel_sweep` and ``docs/robustness.md``.
     """
     from repro.perf.sweep import parallel_sweep
 
@@ -136,4 +152,8 @@ def run_failure_sweep_parallel(
         max_workers=max_workers,
         optimal_compile=optimal_compile,
         min_parallel_tasks=min_parallel_tasks,
+        ladder=ladder,
+        validate=validate,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every=checkpoint_every,
     )

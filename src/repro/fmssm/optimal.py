@@ -33,8 +33,9 @@ compare bit-identical across routes; the solver's own value is kept in
 from __future__ import annotations
 
 import time
+import warnings
 
-from repro.exceptions import SolverError
+from repro.exceptions import DegradedResultWarning, RungTimeoutError, SolverError
 from repro.fmssm.formulation import FMSSMVariables, build_fmssm_model
 from repro.fmssm.instance import FMSSMInstance
 from repro.fmssm.solution import RecoverySolution
@@ -42,6 +43,7 @@ from repro.lp import SolveResult, SolveStatus, solve
 from repro.lp.branch_and_bound import solve_form_with_bnb
 from repro.lp.highs import solve_form_relaxation, solve_form_with_highs
 from repro.pm.algorithm import solve_pm
+from repro.resilience import chaos
 
 __all__ = ["solve_optimal", "extract_solution"]
 
@@ -133,6 +135,29 @@ def _infeasible(meta: dict[str, object], elapsed: float) -> RecoverySolution:
     )
 
 
+def _timeout_disposition(
+    rung: str,
+    elapsed: float,
+    raise_on_timeout: bool,
+    meta: dict[str, object],
+) -> RecoverySolution:
+    """Handle a no-incumbent timeout: raise for ladders, warn otherwise."""
+    if raise_on_timeout:
+        raise RungTimeoutError(
+            f"{rung} route timed out after {elapsed:.1f}s with no incumbent",
+            elapsed_s=elapsed,
+            rung=rung,
+        )
+    warnings.warn(
+        DegradedResultWarning(
+            f"optimal ({rung} route) timed out after {elapsed:.1f}s with no "
+            f"incumbent; reporting an infeasible result"
+        ),
+        stacklevel=3,
+    )
+    return _infeasible(meta, elapsed)
+
+
 def _solve_optimal_sparse(
     instance: FMSSMInstance,
     solver: str,
@@ -141,6 +166,7 @@ def _solve_optimal_sparse(
     enforce_delay: bool,
     warm_start: str | None,
     compiler: object,
+    raise_on_timeout: bool,
 ) -> RecoverySolution:
     # Imported lazily: repro.perf pulls in the sweep machinery, which
     # imports this module back.
@@ -202,6 +228,14 @@ def _solve_optimal_sparse(
             ):
                 # Feasibility fallback: HiGHS ran out of time with no
                 # incumbent, but the PM seed is a proven feasible point.
+                warnings.warn(
+                    DegradedResultWarning(
+                        f"optimal (sparse route) timed out after "
+                        f"{result.wall_time_s:.1f}s with no incumbent; falling "
+                        f"back to the PM warm-start point"
+                    ),
+                    stacklevel=3,
+                )
                 result = SolveResult(
                     status=SolveStatus.FEASIBLE,
                     objective=compiled.objective_value(seed_x),
@@ -212,11 +246,11 @@ def _solve_optimal_sparse(
 
     elapsed = time.perf_counter() - start
     if not result.is_feasible or result.x is None:
-        return _infeasible(
-            {"status": result.status.value, "solver": result.solver,
-             "compile": "sparse"},
-            elapsed,
-        )
+        meta = {"status": result.status.value, "solver": result.solver,
+                "compile": "sparse"}
+        if result.status is SolveStatus.TIMEOUT:
+            return _timeout_disposition("sparse", elapsed, raise_on_timeout, meta)
+        return _infeasible(meta, elapsed)
 
     mapping, sdn_pairs = compiled.extract(result.x)
     solution = RecoverySolution(
@@ -235,6 +269,37 @@ def _solve_optimal_sparse(
         },
     )
     solution.meta["objective"] = _canonical_objective(instance, solution)
+    if result.solver == "pm-fallback":
+        solution.meta["degraded"] = True
+        solution.meta["fallback_rung"] = "pm-fallback"
+        solution.meta["timeout_elapsed_s"] = elapsed
+    return solution
+
+
+def _validated(
+    instance: FMSSMInstance,
+    solution: RecoverySolution,
+    enforce_delay: bool,
+    require_full_recovery: bool,
+) -> RecoverySolution:
+    """Run the independent validator on a solver route's output.
+
+    Every feasible answer any route returns is checked against the
+    instance's constraints (Eqs. 2-6 / 12-14); a violation raises
+    :class:`~repro.exceptions.ValidationError` — "the solver said so" is
+    not enough.  The check is O(pairs), noise next to the MILP solve.
+    """
+    if solution.feasible:
+        from repro.resilience.validate import check_solution
+
+        # The PM fallback point is feasible but need not certify r >= 1.
+        full = require_full_recovery and solution.meta.get("solver") != "pm-fallback"
+        check_solution(
+            instance,
+            solution,
+            enforce_delay=enforce_delay,
+            require_full_recovery=full,
+        )
     return solution
 
 
@@ -247,6 +312,8 @@ def solve_optimal(
     compile: str = "sparse",
     warm_start: str | None = "pm",
     compiler: object = None,
+    raise_on_timeout: bool = False,
+    validate: bool = True,
 ) -> RecoverySolution:
     """Solve P′ to optimality and return the recovery solution.
 
@@ -268,9 +335,22 @@ def solve_optimal(
     compiler:
         Optional :class:`~repro.perf.compile.FMSSMCompiler` to reuse
         structural caches across scenarios (sparse route only).
+    raise_on_timeout:
+        When True, a no-incumbent timeout raises
+        :class:`~repro.exceptions.RungTimeoutError` (carrying the rung
+        and elapsed time) instead of returning an infeasible result —
+        this is how the degradation ladder detects a dead rung.  The
+        default keeps the historical return-infeasible behaviour but
+        emits a :class:`~repro.exceptions.DegradedResultWarning`.
+    validate:
+        Run the independent validator
+        (:mod:`repro.resilience.validate`) on every feasible answer;
+        a violated constraint raises
+        :class:`~repro.exceptions.ValidationError`.
     """
+    chaos.check("optimal.solve")
     if compile == "sparse":
-        return _solve_optimal_sparse(
+        solution = _solve_optimal_sparse(
             instance,
             solver=solver,
             time_limit_s=time_limit_s,
@@ -278,7 +358,11 @@ def solve_optimal(
             enforce_delay=enforce_delay,
             warm_start=warm_start,
             compiler=compiler,
+            raise_on_timeout=raise_on_timeout,
         )
+        if validate:
+            _validated(instance, solution, enforce_delay, require_full_recovery)
+        return solution
     if compile != "model":
         raise ValueError(f"unknown compile route {compile!r}")
 
@@ -292,14 +376,16 @@ def solve_optimal(
     elapsed = time.perf_counter() - start
 
     if not result.is_feasible:
-        return _infeasible(
-            {"status": result.status.value, "solver": result.solver,
-             "compile": "model"},
-            elapsed,
-        )
+        meta = {"status": result.status.value, "solver": result.solver,
+                "compile": "model"}
+        if result.status is SolveStatus.TIMEOUT:
+            return _timeout_disposition("model", elapsed, raise_on_timeout, meta)
+        return _infeasible(meta, elapsed)
     solution = extract_solution(instance, handles, result)
     solution.solve_time_s = elapsed
     solution.meta["compile"] = "model"
     solution.meta["solver_objective"] = result.objective
     solution.meta["objective"] = _canonical_objective(instance, solution)
+    if validate:
+        _validated(instance, solution, enforce_delay, require_full_recovery)
     return solution

@@ -35,6 +35,7 @@ from scipy import optimize
 from repro.lp.model import Model
 from repro.lp.solution import SolveResult, SolveStatus
 from repro.lp.standard_form import StandardForm, to_standard_form
+from repro.resilience import chaos
 
 __all__ = ["solve_with_bnb", "solve_form_with_bnb"]
 
@@ -214,6 +215,7 @@ def solve_form_with_bnb(
         silently ignored — seeding only ever helps, never changes the
         answer.  The returned incumbent is never worse than the seed.
     """
+    chaos.check("bnb.solve")
     start = time.perf_counter()
 
     incumbent_value = math.inf  # minimized objective

@@ -25,6 +25,7 @@ from scipy import optimize, sparse
 from repro.lp.model import Model
 from repro.lp.solution import SolveResult, SolveStatus
 from repro.lp.standard_form import StandardForm, to_standard_form
+from repro.resilience import chaos
 
 __all__ = ["solve_with_highs", "solve_form_with_highs", "solve_form_relaxation"]
 
@@ -46,6 +47,7 @@ def solve_form_with_highs(
     The name-keyed ``values`` dict is only populated when the form
     carries variable names; form-level callers read ``result.x``.
     """
+    chaos.check("highs.solve")
     constraints = []
     if form.a_ub.shape[0]:
         constraints.append(
@@ -97,9 +99,9 @@ def solve_form_with_highs(
     objective = None
     gap = None
     if raw.x is not None:
-        x = np.asarray(raw.x)
+        x = chaos.transform("highs.solve.x", np.asarray(raw.x))
         if form.var_names:
-            values = {name: float(v) for name, v in zip(form.var_names, raw.x)}
+            values = {name: float(v) for name, v in zip(form.var_names, x)}
         objective = form.objective_value(float(raw.fun))
         gap = getattr(raw, "mip_gap", None)
 
@@ -123,6 +125,7 @@ def solve_form_relaxation(form: StandardForm) -> SolveResult:
     solution can beat it.  An infeasible relaxation proves the MILP
     infeasible.  Used by the PM-seeded optimality certificate.
     """
+    chaos.check("highs.relax")
     start = time.perf_counter()
     raw = optimize.linprog(
         c=form.c,

@@ -1,4 +1,4 @@
-"""Process-pool execution of failure sweeps.
+"""Process-pool execution of failure sweeps, with a resilience layer.
 
 A sweep is embarrassingly parallel across scenarios × algorithms: every
 task grounds its instance from the same shared data (topology, flows,
@@ -11,25 +11,59 @@ wall-clock time.
 Workers receive one pickled :class:`SweepPlan` through the pool
 initializer — the context (with its coefficient table materialized by
 the parent, so no worker re-derives a single path count) is shipped once
-per worker, not once per task.  Any failure to parallelize (payloads
-that refuse to pickle, a platform without working process pools, a pool
-that dies mid-sweep) degrades gracefully to the serial path.
+per worker, not once per task.
+
+Resilience (all opt-in, zero overhead when unused):
+
+* Any failure to parallelize — payloads that refuse to pickle, a
+  platform without working process pools, a pool that dies mid-sweep —
+  degrades to the serial path for the *remaining* tasks, keeping every
+  result already computed.  The cause is surfaced through a
+  :class:`~repro.resilience.degradation.DegradationReport` on each
+  :class:`ScenarioResult` and a
+  :class:`~repro.exceptions.DegradedResultWarning` instead of silence.
+* ``ladder=`` routes ``optimal`` solves through a degradation ladder
+  (:func:`repro.resilience.degradation.solve_with_ladder`) so a dead or
+  lying solver rung demotes instead of crashing the sweep.
+* ``validate=True`` re-checks every heuristic solution against the
+  instance's constraints (:mod:`repro.resilience.validate`).
+* ``checkpoint_path=`` persists completed scenarios as JSON every
+  ``checkpoint_every`` completions; a killed sweep resumes from the last
+  checkpoint bit-identically to an uninterrupted run.
+
+Fault-injection sites (``sweep.task``, ``sweep.payload``,
+``sweep.checkpoint``) are threaded through the hot paths; see
+:mod:`repro.resilience.chaos`.
 """
 
 from __future__ import annotations
 
 import pickle
+import warnings
 from collections.abc import Sequence
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.baselines import get_algorithm
 from repro.control.failures import FailureScenario
+from repro.exceptions import DegradedResultWarning
 from repro.fmssm.evaluation import RecoveryEvaluation, evaluate_solution
 from repro.fmssm.instance import FMSSMInstance
 from repro.fmssm.optimal import solve_optimal
 from repro.fmssm.solution import RecoverySolution
+from repro.resilience import chaos
+from repro.resilience.checkpoint import (
+    SweepCheckpoint,
+    result_from_json,
+    result_to_json,
+    sweep_fingerprint,
+)
+from repro.resilience.degradation import (
+    DegradationReport,
+    LadderPolicy,
+    solve_with_ladder,
+)
 
 __all__ = ["SweepPlan", "parallel_sweep"]
 
@@ -39,13 +73,18 @@ class SweepPlan:
     """Everything a worker needs to run any (scenario, algorithm) task.
 
     The plan is pickled exactly once by the parent and unpickled exactly
-    once per worker; workers then index into it by task.
+    once per worker; workers then index into it by task.  The active
+    chaos plan (if any) rides along so fault injection reaches worker
+    processes.
     """
 
     context: "ExperimentContext"  # noqa: F821 - imported lazily (cycle)
     scenarios: tuple[FailureScenario, ...]
     optimal_time_limit_s: float = 300.0
     optimal_compile: str = "sparse"
+    ladder: LadderPolicy | None = None
+    validate: bool = False
+    chaos_plan: "chaos.ChaosPlan | None" = field(default=None)
 
 
 #: Per-worker state, populated by :func:`_init_worker`.
@@ -60,7 +99,10 @@ _MIN_PARALLEL_TASKS = 64
 
 def _init_worker(payload: bytes) -> None:
     """Pool initializer: unpickle the shared plan once per worker."""
-    _WORKER["plan"] = pickle.loads(payload)
+    plan = pickle.loads(payload)
+    _WORKER["plan"] = plan
+    if plan.chaos_plan is not None:
+        chaos.install(plan.chaos_plan)
 
 
 def _solve(
@@ -68,26 +110,263 @@ def _solve(
     algorithm: str,
     time_limit_s: float,
     optimal_compile: str = "sparse",
-) -> RecoverySolution:
-    """Run one algorithm on one instance (same routing as the serial path)."""
+    ladder: LadderPolicy | None = None,
+    validate: bool = False,
+) -> tuple[RecoverySolution, DegradationReport | None]:
+    """Run one algorithm on one instance (same routing as the serial path).
+
+    With a ladder, ``optimal`` solves walk the rung chain and return
+    their degradation trail; heuristics optionally pass through the
+    independent validator.
+    """
     if algorithm == "optimal":
-        return solve_optimal(
-            instance, time_limit_s=time_limit_s, compile=optimal_compile
+        if ladder is not None:
+            return solve_with_ladder(instance, ladder)
+        return (
+            solve_optimal(
+                instance, time_limit_s=time_limit_s, compile=optimal_compile
+            ),
+            None,
         )
-    return get_algorithm(algorithm)(instance)
+    solution = get_algorithm(algorithm)(instance)
+    if validate:
+        from repro.resilience.validate import check_solution
+
+        # Flow-level baselines legitimately trade the delay bound off.
+        check_solution(instance, solution, enforce_delay=False)
+    return solution, None
 
 
 def _run_task(
     task: tuple[int, str],
-) -> tuple[int, str, RecoverySolution, RecoveryEvaluation]:
+) -> tuple[int, str, RecoverySolution, RecoveryEvaluation, dict | None]:
     """Worker body: solve + evaluate one (scenario index, algorithm) task."""
+    chaos.check("sweep.task")
     index, algorithm = task
     plan = _WORKER["plan"]
     instance = plan.context.instance(plan.scenarios[index])
-    solution = _solve(
-        instance, algorithm, plan.optimal_time_limit_s, plan.optimal_compile
+    solution, report = _solve(
+        instance,
+        algorithm,
+        plan.optimal_time_limit_s,
+        plan.optimal_compile,
+        plan.ladder,
+        plan.validate,
     )
-    return index, algorithm, solution, evaluate_solution(instance, solution)
+    evaluation = evaluate_solution(instance, solution)
+    return index, algorithm, solution, evaluation, (
+        None if report is None else report.to_dict()
+    )
+
+
+class _SweepRunner:
+    """One sweep execution: slots, checkpointing, and degradation audit."""
+
+    def __init__(
+        self,
+        context: "ExperimentContext",  # noqa: F821
+        scenarios: tuple[FailureScenario, ...],
+        algorithms: tuple[str, ...],
+        optimal_time_limit_s: float,
+        optimal_compile: str,
+        ladder: LadderPolicy | None,
+        validate: bool,
+        checkpoint: SweepCheckpoint | None,
+        checkpoint_every: int,
+    ) -> None:
+        from repro.experiments.runner import ScenarioResult
+
+        self.context = context
+        self.scenarios = scenarios
+        self.algorithms = algorithms
+        self.optimal_time_limit_s = optimal_time_limit_s
+        self.optimal_compile = optimal_compile
+        self.ladder = ladder
+        self.validate = validate
+        self.checkpoint = checkpoint
+        self.checkpoint_every = max(1, checkpoint_every)
+        self.results = [
+            ScenarioResult(scenario=scenario, degradation=DegradationReport())
+            for scenario in scenarios
+        ]
+        #: Scenario indices fully solved (all algorithms present).
+        self.completed: set[int] = set()
+        #: Serialized payloads of completed scenarios (for checkpointing).
+        self._payloads: dict[int, dict] = {}
+        self._since_checkpoint = 0
+
+    # -- checkpoint ----------------------------------------------------
+    def restore(self) -> None:
+        """Load previously completed scenarios from the checkpoint."""
+        if self.checkpoint is None:
+            return
+        for index, payload in self.checkpoint.load().items():
+            if not 0 <= index < len(self.scenarios):
+                continue
+            result = result_from_json(self.context, self.scenarios[index], payload)
+            if result.degradation is None:
+                result.degradation = DegradationReport()
+            result.degradation.record(
+                "checkpoint", "restore", f"restored from {self.checkpoint.path}"
+            )
+            self.results[index] = result
+            self.completed.add(index)
+            self._payloads[index] = payload
+
+    def _scenario_done(self, index: int) -> None:
+        """Mark a scenario complete; checkpoint every N completions."""
+        self.completed.add(index)
+        if self.checkpoint is None:
+            return
+        self._payloads[index] = result_to_json(self.results[index])
+        self._since_checkpoint += 1
+        if self._since_checkpoint >= self.checkpoint_every:
+            self._flush_checkpoint()
+
+    def _flush_checkpoint(self) -> None:
+        if self.checkpoint is None or self._since_checkpoint == 0:
+            return
+        self.checkpoint.save(self._payloads)
+        self._since_checkpoint = 0
+        chaos.check("sweep.checkpoint")
+
+    # -- bookkeeping ---------------------------------------------------
+    def record_mode(self, reason: str, degraded: bool = False) -> None:
+        """Stamp the execution mode onto every not-yet-completed result."""
+        action = "serial-fallback" if degraded else "mode"
+        for index, result in enumerate(self.results):
+            if index not in self.completed:
+                result.degradation.record("sweep", action, reason)
+
+    def _store(
+        self,
+        index: int,
+        algorithm: str,
+        solution: RecoverySolution,
+        evaluation: RecoveryEvaluation,
+        report_dict: dict | None,
+    ) -> None:
+        result = self.results[index]
+        result.solutions[algorithm] = solution
+        result.evaluations[algorithm] = evaluation
+        if report_dict is not None:
+            task_report = DegradationReport.from_dict(report_dict)
+            result.degradation.events.extend(task_report.events)
+            if task_report.rung_used is not None:
+                result.degradation.rung_used = task_report.rung_used
+        if len(result.solutions) == len(self.algorithms):
+            self._scenario_done(index)
+
+    def pending_tasks(self) -> list[tuple[int, str]]:
+        """Remaining (scenario index, algorithm) tasks, deterministic order."""
+        return [
+            (index, algorithm)
+            for index in range(len(self.scenarios))
+            if index not in self.completed
+            for algorithm in self.algorithms
+            if algorithm not in self.results[index].solutions
+        ]
+
+    # -- execution -----------------------------------------------------
+    def run_serial(self, tasks: Sequence[tuple[int, str]]) -> None:
+        """Solve ``tasks`` in-process, in deterministic order."""
+        for index, algorithm in tasks:
+            chaos.check("sweep.task")
+            instance = self.context.instance(self.scenarios[index])
+            solution, report = _solve(
+                instance,
+                algorithm,
+                self.optimal_time_limit_s,
+                self.optimal_compile,
+                self.ladder,
+                self.validate,
+            )
+            evaluation = evaluate_solution(instance, solution)
+            self._store(
+                index, algorithm, solution, evaluation,
+                None if report is None else report.to_dict(),
+            )
+
+    def run_pool(self, tasks: Sequence[tuple[int, str]], workers: int) -> bool:
+        """Fan ``tasks`` over a process pool; True when all completed.
+
+        Returns False (after keeping every received result) when the
+        pool breaks or a result refuses to pickle — the caller then
+        finishes the remainder serially.  Task-level exceptions (solver
+        bugs, validation failures without a ladder) propagate unchanged,
+        exactly as the serial path would raise them.
+        """
+        try:
+            self.context.materialize_table()
+        except AttributeError:  # duck-typed contexts without a table cache
+            pass
+        try:
+            payload = pickle.dumps(
+                SweepPlan(
+                    self.context,
+                    self.scenarios,
+                    self.optimal_time_limit_s,
+                    self.optimal_compile,
+                    self.ladder,
+                    self.validate,
+                    chaos.active_plan(),
+                ),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        except Exception as exc:  # unpicklable context/scenarios: stay serial
+            self._warn_fallback(f"sweep plan failed to pickle ({exc!r})")
+            return False
+        payload = chaos.transform("sweep.payload", payload)
+
+        try:
+            with ProcessPoolExecutor(
+                max_workers=workers, initializer=_init_worker, initargs=(payload,)
+            ) as pool:
+                futures = {pool.submit(_run_task, task): task for task in tasks}
+                pending = set(futures)
+                while pending:
+                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        index, algorithm, solution, evaluation, report = (
+                            future.result()
+                        )
+                        self._store(index, algorithm, solution, evaluation, report)
+        except (OSError, pickle.PicklingError, BrokenProcessPool) as exc:
+            # Sandboxes without fork/spawn, a worker killed mid-task, or
+            # results that refuse to pickle: keep what we have, finish
+            # the rest serially.
+            self._warn_fallback(f"process pool failed ({exc!r})")
+            return False
+        finally:
+            self._flush_checkpoint()
+        return True
+
+    def _warn_fallback(self, cause: str) -> None:
+        reason = f"{cause}; completing remaining tasks serially"
+        self.record_mode(reason, degraded=True)
+        warnings.warn(DegradedResultWarning(f"parallel sweep degraded: {reason}"),
+                      stacklevel=4)
+
+    def finish(self) -> "list[ScenarioResult]":  # noqa: F821
+        """Final checkpoint flush + cleanup, then the merged results.
+
+        Solutions/evaluations dicts are reordered into the caller's
+        algorithm order — pool futures complete in arbitrary order, but
+        the output contract is "identical to the serial sweep".
+        """
+        self._flush_checkpoint()
+        if self.checkpoint is not None and len(self.completed) == len(self.scenarios):
+            self.checkpoint.clear()
+        for result in self.results:
+            result.solutions = {
+                a: result.solutions[a] for a in self.algorithms if a in result.solutions
+            }
+            result.evaluations = {
+                a: result.evaluations[a]
+                for a in self.algorithms
+                if a in result.evaluations
+            }
+        return self.results
 
 
 def parallel_sweep(
@@ -98,74 +377,84 @@ def parallel_sweep(
     max_workers: int | None = None,
     optimal_compile: str = "sparse",
     min_parallel_tasks: int | None = None,
+    ladder: LadderPolicy | None = None,
+    validate: bool = False,
+    checkpoint_path: object = None,
+    checkpoint_every: int = 4,
 ) -> "list[ScenarioResult]":  # noqa: F821
     """Run ``scenarios`` × ``algorithms`` over a process pool.
 
     Results are merged in scenario order with per-scenario algorithm
     order preserved, exactly as the serial sweep produces them.  Falls
     back to the serial path when ``max_workers`` resolves to ≤ 1, when
-    the plan or a result refuses to pickle, or when the pool breaks.
+    the plan or a result refuses to pickle, or when the pool breaks —
+    in the latter two cases only the *remaining* tasks are recomputed,
+    and the cause is recorded on every affected result's
+    ``degradation`` report and raised as a
+    :class:`~repro.exceptions.DegradedResultWarning`.
 
     Small heuristic-only sweeps also stay serial: forking a pool and
     shipping the context costs tens of milliseconds, which a handful of
     sub-millisecond PM/RetroFlow tasks can never repay.  Any algorithm
     in ``_HEAVY_ALGORITHMS`` (exact solves) disables the heuristic, as
     does ``min_parallel_tasks=0``.
+
+    Resilience knobs (see :mod:`repro.resilience`): ``ladder`` walks
+    ``optimal`` solves down a degradation ladder, ``validate`` re-checks
+    heuristic solutions, and ``checkpoint_path`` enables periodic
+    checkpointing with bit-identical resume.
     """
     import os
-
-    from repro.experiments.runner import ScenarioResult, run_scenario
 
     scenarios = tuple(scenarios)
     algorithms = tuple(algorithms)
 
-    def serial() -> list[ScenarioResult]:
-        return [
-            run_scenario(
-                context,
-                scenario,
+    checkpoint = None
+    if checkpoint_path is not None:
+        checkpoint = SweepCheckpoint(
+            checkpoint_path,
+            sweep_fingerprint(
+                [s.name for s in scenarios],
                 algorithms,
                 optimal_time_limit_s,
-                optimal_compile=optimal_compile,
-            )
-            for scenario in scenarios
-        ]
+                optimal_compile,
+            ),
+        )
 
-    tasks = [(i, a) for i in range(len(scenarios)) for a in algorithms]
+    runner = _SweepRunner(
+        context,
+        scenarios,
+        algorithms,
+        optimal_time_limit_s,
+        optimal_compile,
+        ladder,
+        validate,
+        checkpoint,
+        checkpoint_every,
+    )
+    runner.restore()
+    tasks = runner.pending_tasks()
+    if not tasks:
+        return runner.finish()
+
     if min_parallel_tasks is None:
         min_parallel_tasks = _MIN_PARALLEL_TASKS
     heuristics_only = not any(a in _HEAVY_ALGORITHMS for a in algorithms)
-    if heuristics_only and len(tasks) < min_parallel_tasks:
-        return serial()
     if max_workers is None:
         max_workers = os.cpu_count() or 1
     workers = min(max_workers, len(tasks))
-    if workers <= 1 or not tasks:
-        return serial()
 
-    # Materialize the shared coefficient table in the parent so workers
-    # inherit it (and the warm path-count cache) instead of re-deriving.
-    try:
-        context.materialize_table()
-    except AttributeError:  # duck-typed contexts without a table cache
-        pass
-    try:
-        payload = pickle.dumps(
-            SweepPlan(context, scenarios, optimal_time_limit_s, optimal_compile),
-            protocol=pickle.HIGHEST_PROTOCOL,
+    if heuristics_only and len(tasks) < min_parallel_tasks:
+        runner.record_mode(
+            f"serial: {len(tasks)} heuristic-only tasks < "
+            f"min_parallel_tasks={min_parallel_tasks}"
         )
-    except Exception:  # unpicklable context/scenarios: stay serial
-        return serial()
-
-    results = [ScenarioResult(scenario=scenario) for scenario in scenarios]
-    try:
-        with ProcessPoolExecutor(
-            max_workers=workers, initializer=_init_worker, initargs=(payload,)
-        ) as pool:
-            for index, algorithm, solution, evaluation in pool.map(_run_task, tasks):
-                results[index].solutions[algorithm] = solution
-                results[index].evaluations[algorithm] = evaluation
-    except (OSError, pickle.PicklingError, BrokenProcessPool):
-        # Sandboxes without fork/spawn, or results that refuse to pickle.
-        return serial()
-    return results
+        runner.run_serial(tasks)
+    elif workers <= 1:
+        runner.record_mode(f"serial: max_workers={max_workers} resolves to <= 1 worker")
+        runner.run_serial(tasks)
+    else:
+        runner.record_mode(f"pool: {workers} workers, {len(tasks)} tasks")
+        if not runner.run_pool(tasks, workers):
+            runner.run_serial(runner.pending_tasks())
+    return runner.finish()

@@ -1,0 +1,59 @@
+"""Resilience layer: survivable, auditable sweeps and solves.
+
+The paper's premise is graceful degradation under failure; this package
+applies the same philosophy to the reproduction's own execution
+pipeline.  Four pieces:
+
+:mod:`repro.resilience.degradation`
+    A configurable **degradation ladder** for exact solves
+    (``sparse+warm`` → ``model`` → ``bnb`` → ``pm``), each rung guarded
+    by a time limit and retry-with-backoff, with every demotion recorded
+    in a structured :class:`DegradationReport`.
+:mod:`repro.resilience.chaos`
+    A **fault-injection harness** with sites threaded through the sweep
+    engine and every solver route, so the failure paths are first-class
+    tested code.
+:mod:`repro.resilience.checkpoint`
+    **Checkpoint/resume** for failure sweeps: completed scenarios
+    persist as JSON and a killed sweep resumes bit-identically.
+:mod:`repro.resilience.validate`
+    An **independent solution validator** checking any
+    :class:`~repro.fmssm.solution.RecoverySolution` against the
+    instance's constraints (Eqs. 2-6 / 12-14), invoked on every solver
+    route's output.
+
+See ``docs/robustness.md`` for the full design.
+"""
+
+from repro.resilience import chaos
+from repro.resilience.checkpoint import SweepCheckpoint, sweep_fingerprint
+from repro.resilience.degradation import (
+    DegradationEvent,
+    DegradationReport,
+    LadderPolicy,
+    Rung,
+    default_ladder,
+    solve_with_ladder,
+)
+from repro.resilience.validate import (
+    ValidationReport,
+    Violation,
+    check_solution,
+    validate_solution,
+)
+
+__all__ = [
+    "chaos",
+    "DegradationEvent",
+    "DegradationReport",
+    "LadderPolicy",
+    "Rung",
+    "default_ladder",
+    "solve_with_ladder",
+    "SweepCheckpoint",
+    "sweep_fingerprint",
+    "ValidationReport",
+    "Violation",
+    "check_solution",
+    "validate_solution",
+]

@@ -25,10 +25,27 @@ class TestHierarchy:
             (exceptions.InfeasibleError, exceptions.SolverError),
             (exceptions.UnboundedError, exceptions.SolverError),
             (exceptions.SolverTimeoutError, exceptions.SolverError),
+            (exceptions.RungTimeoutError, exceptions.SolverTimeoutError),
+            (exceptions.ValidationError, exceptions.SolutionError),
+            (exceptions.ChaosError, exceptions.ReproError),
+            (exceptions.CheckpointError, exceptions.ReproError),
+            (exceptions.DegradedResultWarning, exceptions.ReproError),
         ],
     )
     def test_specializations(self, child, parent):
         assert issubclass(child, parent)
+
+    def test_degraded_result_warning_is_a_warning(self):
+        """It must be issuable through ``warnings.warn``."""
+        assert issubclass(exceptions.DegradedResultWarning, UserWarning)
+
+    def test_rung_timeout_carries_context(self):
+        err = exceptions.RungTimeoutError(
+            "rung timed out", elapsed_s=1.5, rung="sparse+warm", fallback="model"
+        )
+        assert err.elapsed_s == 1.5
+        assert err.rung == "sparse+warm"
+        assert err.fallback == "model"
 
     def test_catching_base_catches_everything(self):
         from repro.topology.graph import Topology

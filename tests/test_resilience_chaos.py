@@ -1,0 +1,239 @@
+"""Fault-injection tests: sweeps must survive chaos with correct results.
+
+Every test here follows the same shape: run a clean baseline sweep, run
+the same sweep under an installed :class:`~repro.resilience.chaos.ChaosPlan`,
+and assert that (a) the sweep completes, (b) the merged results are
+identical to the baseline, and (c) the degradation reports name what
+actually happened.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.control.failures import FailureScenario
+from repro.exceptions import ChaosError, DegradedResultWarning, SolverTimeoutError
+from repro.experiments.scenarios import custom_context
+from repro.perf.sweep import parallel_sweep
+from repro.resilience import chaos
+from repro.resilience.degradation import default_ladder
+from repro.topology.generators import ring_topology
+
+ALGORITHMS = ("optimal", "pm", "retroflow")
+
+
+@pytest.fixture(scope="module")
+def sweep_context():
+    return custom_context(
+        ring_topology(10, chords=5, seed=7),
+        controller_sites=(0, 3, 7),
+        capacity=160,
+    )
+
+
+@pytest.fixture(scope="module")
+def sweep_scenarios():
+    return tuple(FailureScenario(frozenset({c})) for c in (0, 3, 7))
+
+
+@pytest.fixture(scope="module")
+def baseline(sweep_context, sweep_scenarios):
+    return parallel_sweep(
+        sweep_context, sweep_scenarios, ALGORITHMS,
+        max_workers=1, optimal_time_limit_s=60.0,
+    )
+
+
+def assert_same_solutions(expected, actual):
+    assert len(expected) == len(actual)
+    for exp, act in zip(expected, actual):
+        assert exp.scenario == act.scenario
+        assert sorted(exp.solutions) == sorted(act.solutions)
+        for name in exp.solutions:
+            assert exp.solutions[name].mapping == act.solutions[name].mapping, name
+            assert exp.solutions[name].sdn_pairs == act.solutions[name].sdn_pairs, name
+            assert exp.evaluations[name].total_programmability == (
+                act.evaluations[name].total_programmability
+            ), name
+
+
+class TestHarness:
+    def test_fault_fires_window(self):
+        fault = chaos.Fault("sweep.task", "raise-error", at_call=3, count=2)
+        assert [fault.fires(n) for n in range(1, 7)] == [
+            False, False, True, True, False, False,
+        ]
+
+    def test_open_ended_fault(self):
+        fault = chaos.Fault("sweep.task", "raise-error", at_call=2, count=None)
+        assert not fault.fires(1)
+        assert all(fault.fires(n) for n in (2, 50, 5000))
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError, match="unknown chaos action"):
+            chaos.Fault("sweep.task", "explode")
+
+    def test_at_call_is_one_based(self):
+        with pytest.raises(ValueError, match="1-based"):
+            chaos.Fault("sweep.task", "raise-error", at_call=0)
+
+    def test_check_is_noop_without_plan(self):
+        chaos.uninstall()
+        chaos.check("sweep.task")  # must not raise, must not count
+
+    def test_inject_installs_and_uninstalls(self):
+        assert chaos.active_plan() is None
+        with chaos.inject(chaos.Fault("sweep.task", "raise-error")):
+            assert chaos.active_plan() is not None
+            with pytest.raises(ChaosError):
+                chaos.check("sweep.task")
+        assert chaos.active_plan() is None
+
+    def test_raise_timeout_action(self):
+        with chaos.inject(chaos.Fault("optimal.solve", "raise-timeout")):
+            with pytest.raises(SolverTimeoutError):
+                chaos.check("optimal.solve")
+
+    def test_counters_are_per_site(self):
+        with chaos.inject(
+            chaos.Fault("optimal.solve", "raise-error", at_call=2)
+        ):
+            chaos.check("optimal.solve")       # call 1: clean
+            chaos.check("highs.solve")          # other site, no effect
+            with pytest.raises(ChaosError):
+                chaos.check("optimal.solve")   # call 2: fires
+
+    def test_corrupt_payload_flips_byte(self):
+        with chaos.inject(chaos.Fault("sweep.payload", "corrupt-payload")):
+            out = chaos.transform("sweep.payload", b"abcdef")
+        assert out != b"abcdef"
+        assert len(out) == 6
+
+    def test_corrupt_solution_activates_everything(self):
+        import numpy as np
+
+        with chaos.inject(chaos.Fault("highs.solve.x", "corrupt-solution")):
+            out = chaos.transform("highs.solve.x", np.array([0.0, 1.0, 0.3]))
+        assert list(out) == [1.0, 1.0, 1.0]
+
+    def test_transform_passthrough_without_plan(self):
+        chaos.uninstall()
+        assert chaos.transform("sweep.payload", b"abc") == b"abc"
+
+
+class TestSweepUnderChaos:
+    def test_corrupt_payload_degrades_to_serial(
+        self, sweep_context, sweep_scenarios, baseline
+    ):
+        """A poisoned worker payload breaks the pool; the sweep must fall
+        back to the serial path with identical results and say so."""
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            with chaos.inject(chaos.Fault("sweep.payload", "corrupt-payload")):
+                results = parallel_sweep(
+                    sweep_context, sweep_scenarios, ALGORITHMS,
+                    max_workers=2, optimal_time_limit_s=60.0,
+                )
+        assert_same_solutions(baseline, results)
+        degraded = [
+            w for w in caught if issubclass(w.category, DegradedResultWarning)
+        ]
+        assert degraded, "serial fallback must warn, not be silent"
+        assert "serially" in str(degraded[0].message)
+        for result in results:
+            assert result.degradation.degraded
+            assert any(
+                e.action == "serial-fallback" for e in result.degradation.events
+            )
+
+    def test_killed_worker_degrades_to_serial(
+        self, sweep_context, sweep_scenarios, baseline
+    ):
+        """kill-worker terminates a pool worker mid-task (the parent is
+        immune); completed results are kept and the rest finish serially."""
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            with chaos.inject(
+                chaos.Fault("sweep.task", "kill-worker", at_call=1)
+            ):
+                results = parallel_sweep(
+                    sweep_context, sweep_scenarios, ALGORITHMS,
+                    max_workers=2, optimal_time_limit_s=60.0,
+                )
+        assert_same_solutions(baseline, results)
+        assert any(
+            issubclass(w.category, DegradedResultWarning) for w in caught
+        )
+
+    def test_nth_call_timeout_degrades_one_scenario(
+        self, sweep_context, sweep_scenarios, baseline
+    ):
+        """Three injected timeouts at the solve_optimal entry exhaust both
+        HiGHS rungs for the first scenario only; it lands on B&B while the
+        other scenarios stay on the primary rung — and every merged result
+        is still correct (B&B proves the same optimum)."""
+        ladder = default_ladder(time_limit_s=60.0, retries=1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DegradedResultWarning)
+            with chaos.inject(
+                chaos.Fault("optimal.solve", "raise-timeout", at_call=1, count=3)
+            ):
+                results = parallel_sweep(
+                    sweep_context, sweep_scenarios, ALGORITHMS,
+                    max_workers=1, ladder=ladder,
+                )
+        assert_same_solutions(baseline, results)
+        assert results[0].degradation.rung_used == "bnb"
+        assert results[0].degradation.degraded
+        assert results[0].solutions["optimal"].meta["ladder_rung"] == "bnb"
+        for result in results[1:]:
+            assert result.degradation.rung_used == "sparse+warm"
+            assert not any(
+                e.action == "demote" for e in result.degradation.events
+            )
+
+    def test_sweep_task_chaos_error_propagates_without_ladder(
+        self, sweep_context, sweep_scenarios
+    ):
+        """Without a ladder there is nothing to absorb a task-level bug:
+        it must propagate, exactly as the serial sweep would raise it."""
+        with chaos.inject(chaos.Fault("sweep.task", "raise-error", at_call=1)):
+            with pytest.raises(ChaosError):
+                parallel_sweep(
+                    sweep_context, sweep_scenarios, ALGORITHMS,
+                    max_workers=1, optimal_time_limit_s=60.0,
+                )
+
+    def test_corrupt_solution_absorbed_by_ladder(self):
+        """A lying solver vector is caught by the validator and demoted
+        past, so the sweep still completes with a correct answer."""
+        context = custom_context(
+            ring_topology(10, chords=5, seed=7),
+            controller_sites=(0, 3, 7),
+            capacity={0: 200, 3: 200, 7: 30},
+        )
+        scenarios = (FailureScenario(frozenset({3})),)
+        baseline = parallel_sweep(
+            context, scenarios, ("optimal",), max_workers=1,
+            optimal_time_limit_s=60.0,
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DegradedResultWarning)
+            with chaos.inject(
+                chaos.Fault("optimal.solve", "raise-timeout", at_call=1, count=1),
+                chaos.Fault("highs.solve.x", "corrupt-solution", count=None),
+            ):
+                results = parallel_sweep(
+                    context, scenarios, ("optimal",), max_workers=1,
+                    ladder=default_ladder(time_limit_s=60.0, retries=0),
+                )
+        assert results[0].degradation.rung_used == "bnb"
+        assert any(
+            "eq3-capacity" in e.reason
+            for e in results[0].degradation.demotions
+        )
+        solution = results[0].solutions["optimal"]
+        expected = baseline[0].solutions["optimal"]
+        assert solution.meta["objective"] == expected.meta["objective"]
