@@ -14,7 +14,14 @@ keeps ``BENCH_headline.json`` fresh and well-formed.  Timed stages:
   of P′ on the n=40 Waxman single-failure case via the DSL route versus
   the sparse compile + PM-certificate route (``repro.perf.compile``),
   with ``optimal_n40_compile_model_s`` / ``optimal_n40_compile_sparse_s``
-  isolating the model-assembly share.
+  isolating the model-assembly share,
+* ``sweep_fanout_pickle_s`` / ``sweep_shm_s`` — the 25-scenario n=40
+  heuristic sweep over a pool, classic pickle fan-out versus the
+  zero-copy shared-memory transport (the payload sizes land in the
+  headline's ``fanout`` section),
+* ``sweep_independent_n40_s`` / ``sweep_incremental_s`` — the exact
+  solver over the five n=40 single-failure scenarios, independent
+  per-scenario solves versus the Hamming-chained incremental route.
 """
 
 from __future__ import annotations
@@ -23,7 +30,7 @@ import time
 
 import pytest
 
-from conftest import record_stage, record_sweep
+from conftest import record_fanout, record_stage, record_sweep
 from repro.control.failures import FailureScenario
 from repro.experiments.report import render_table
 from repro.experiments.runner import run_failure_sweep, run_failure_sweep_parallel
@@ -167,3 +174,102 @@ def test_optimal_fast_path_n40(waxman40_context, capsys):
             )
         )
         print(f"speedup: {model_s / sparse_s:.1f}x  (certificate={via_sparse.meta['certificate']})")
+
+
+def _failure_scenarios(context, depths):
+    from repro.control.failures import enumerate_failure_scenarios
+
+    scenarios = []
+    for n_failures in depths:
+        scenarios.extend(enumerate_failure_scenarios(context.plane, n_failures))
+    return scenarios
+
+
+def test_sweep_fanout_transports(waxman40_context, capsys):
+    """Shm fan-out ships a ≥10× smaller per-worker payload, same answers."""
+    from repro.perf.sweep import fanout_summary, parallel_sweep
+
+    scenarios = _failure_scenarios(waxman40_context, (1, 2, 3))
+
+    start = time.perf_counter()
+    via_pickle = parallel_sweep(
+        waxman40_context, scenarios, FAST_ALGORITHMS,
+        max_workers=4, min_parallel_tasks=0, transport="pickle",
+    )
+    record_sweep("sweep_fanout_pickle_s", time.perf_counter() - start, via_pickle)
+    start = time.perf_counter()
+    via_shm = parallel_sweep(
+        waxman40_context, scenarios, FAST_ALGORITHMS,
+        max_workers=4, min_parallel_tasks=0, transport="shm",
+    )
+    record_stage("sweep_shm_s", time.perf_counter() - start)
+
+    assert_sweeps_identical(via_pickle, via_shm)
+
+    pickle_fan = fanout_summary(via_pickle) or {}
+    fan = dict(fanout_summary(via_shm) or {})
+    fan["pickle_payload_bytes"] = pickle_fan.get("payload_bytes", 0)
+    record_fanout(fan)
+    if fan.get("transport") == "shm":
+        # The headline claim: the per-worker in-band payload shrinks by
+        # at least an order of magnitude once the arrays go out of band.
+        assert fan["payload_bytes"] * 10 <= fan["pickle_payload_bytes"], fan
+
+    with capsys.disabled():
+        print()
+        print("=== Pool fan-out transport (25 scenarios, heuristics) ===")
+        print(
+            render_table(
+                ("transport", "in-band payload (B)", "shared (B)"),
+                [
+                    ("pickle", f"{fan['pickle_payload_bytes']}", "0"),
+                    (
+                        fan.get("transport", "pickle"),
+                        f"{fan.get('payload_bytes', 0)}",
+                        f"{fan.get('shared_bytes', 0)}",
+                    ),
+                ],
+            )
+        )
+
+
+def test_sweep_incremental_chain(waxman40_context, capsys):
+    """The Hamming-chained sweep returns bit-identical exact solutions."""
+    from repro.perf.sweep import parallel_sweep
+
+    scenarios = _failure_scenarios(waxman40_context, (1,))
+    algorithms = ("pm", "optimal")
+
+    start = time.perf_counter()
+    independent = parallel_sweep(
+        waxman40_context, scenarios, algorithms,
+        optimal_time_limit_s=120.0, max_workers=1,
+    )
+    independent_s = time.perf_counter() - start
+    record_sweep("sweep_independent_n40_s", independent_s, independent)
+    start = time.perf_counter()
+    incremental = parallel_sweep(
+        waxman40_context, scenarios, algorithms,
+        optimal_time_limit_s=120.0, max_workers=1, incremental=True,
+    )
+    incremental_s = time.perf_counter() - start
+    record_sweep("sweep_incremental_s", incremental_s, incremental)
+
+    assert_sweeps_identical(independent, incremental)
+    for a, b in zip(independent, incremental):
+        assert a.solutions["optimal"].meta.get("objective") == (
+            b.solutions["optimal"].meta.get("objective")
+        )
+
+    with capsys.disabled():
+        print()
+        print("=== Incremental exact sweep (5 single-failure scenarios) ===")
+        print(
+            render_table(
+                ("route", "wall (s)"),
+                [
+                    ("independent", f"{independent_s:.3f}"),
+                    ("incremental", f"{incremental_s:.3f}"),
+                ],
+            )
+        )

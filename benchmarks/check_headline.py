@@ -21,6 +21,12 @@ Rules
   demotions) may exceed the baseline total by at most ``--degraded-slack``
   (default 5).  A solver change that silently mass-degrades to the PM
   heuristic would otherwise read as a massive speedup.
+* The ``fanout`` section (payload *bytes*, deliberately excluded from
+  the seconds comparison — byte counts are deterministic, so they get
+  no tolerance) fails when the shared-memory route's per-worker in-band
+  payload grows to the baseline's *pickle* payload size, or when the
+  transport silently degrades from shm to pickle: either means the
+  zero-copy fan-out stopped doing its job.
 
 Usage::
 
@@ -98,6 +104,47 @@ def compare_degraded(
     return []
 
 
+def load_fanout(path: Path) -> dict[str, object]:
+    """The ``fanout`` section; empty for pre-section headlines."""
+    fanout = load_headline(path).get("fanout", {})
+    if not isinstance(fanout, dict):
+        raise SystemExit(f"{path}: fanout must be a mapping")
+    return fanout
+
+
+def compare_fanout(
+    current: dict[str, object], baseline: dict[str, object]
+) -> list[str]:
+    """Failure messages when the zero-copy fan-out regressed.
+
+    Byte counts are deterministic for a given plan, so no tolerance
+    factor applies: the in-band payload of the shm route must stay below
+    the pickle payload recorded in the baseline.
+    """
+    if not current or not baseline:
+        return []
+    failures = []
+    if baseline.get("transport") == "shm" and current.get("transport") != "shm":
+        failures.append(
+            f"fanout: transport degraded to {current.get('transport')!r} "
+            f"(baseline used shm)"
+        )
+        return failures
+    pickle_bytes = baseline.get("pickle_payload_bytes")
+    payload_bytes = current.get("payload_bytes")
+    if (
+        isinstance(pickle_bytes, (int, float))
+        and isinstance(payload_bytes, (int, float))
+        and payload_bytes > pickle_bytes
+    ):
+        failures.append(
+            f"fanout: in-band payload {payload_bytes} B exceeds the baseline "
+            f"pickle payload {pickle_bytes} B — the shared-memory transport "
+            f"is no longer moving the arrays out of band"
+        )
+    return failures
+
+
 def compare(
     current: dict[str, float],
     baseline: dict[str, float],
@@ -138,6 +185,23 @@ def main(argv: list[str] | None = None) -> int:
     failures += compare_degraded(
         cur_degraded, load_degraded(args.baseline), args.degraded_slack
     )
+    cur_fanout = load_fanout(args.current)
+    failures += compare_fanout(cur_fanout, load_fanout(args.baseline))
+    if cur_fanout:
+        print(
+            "fanout: transport={transport} payload={payload_bytes}B "
+            "shared={shared_bytes}B pickle-baseline={pickle_payload_bytes}B".format(
+                **{
+                    k: cur_fanout.get(k, "?")
+                    for k in (
+                        "transport",
+                        "payload_bytes",
+                        "shared_bytes",
+                        "pickle_payload_bytes",
+                    )
+                }
+            )
+        )
     if sum(cur_degraded.values()):
         detail = ", ".join(
             f"{name}={count}" for name, count in sorted(cur_degraded.items()) if count

@@ -39,6 +39,10 @@ class ScenarioResult:
     #: ``None`` for results from the plain serial runner, which has no
     #: degradation machinery to report on.
     degradation: "DegradationReport | None" = None
+    #: Free-form execution diagnostics that are not part of the answer —
+    #: e.g. the parallel sweep's fan-out transport stats (payload bytes,
+    #: worker init time).  Never consulted when comparing results.
+    meta: dict[str, object] = field(default_factory=dict)
 
     @property
     def name(self) -> str:
@@ -124,6 +128,8 @@ def run_failure_sweep_parallel(
     validate: bool = False,
     checkpoint_path: object = None,
     checkpoint_every: int = 4,
+    transport: str = "auto",
+    incremental: bool = False,
 ) -> list[ScenarioResult]:
     """:func:`run_failure_sweep` fanned over a process pool.
 
@@ -141,6 +147,10 @@ def run_failure_sweep_parallel(
     ``ladder``, ``validate``, ``checkpoint_path`` and
     ``checkpoint_every`` enable the resilience layer; see
     :func:`repro.perf.sweep.parallel_sweep` and ``docs/robustness.md``.
+    ``transport`` selects how the plan reaches workers (``"auto"`` /
+    ``"shm"`` / ``"pickle"``) and ``incremental`` chains scenarios by
+    failure-set similarity — both pure execution strategies with
+    bit-identical results; see ``docs/performance.md``.
     """
     from repro.perf.sweep import parallel_sweep
 
@@ -156,4 +166,6 @@ def run_failure_sweep_parallel(
         validate=validate,
         checkpoint_path=checkpoint_path,
         checkpoint_every=checkpoint_every,
+        transport=transport,
+        incremental=incremental,
     )

@@ -25,12 +25,35 @@ recoverable flow
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, NamedTuple
 
 from repro.exceptions import ModelError
 from repro.flows.flow import Flow
 from repro.types import ControllerId, FlowId, Milliseconds, NodeId
 
-__all__ = ["FMSSMInstance"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
+
+__all__ = ["FMSSMInstance", "PairArrays"]
+
+
+class PairArrays(NamedTuple):
+    """Dense numpy views over an instance's programmable pairs.
+
+    Built lazily by :meth:`FMSSMInstance.pair_arrays` and cached — the
+    instance is immutable, so the arrays never change.  Consumers
+    (PM's vectorized saturation pass, the incremental repair kernel)
+    scan these instead of doing per-pair dict lookups.
+    """
+
+    #: Index into ``instance.switches`` of each pair, aligned with ``pairs``.
+    switch_code: "np.ndarray"
+    #: ``p̄`` of each pair, aligned with ``pairs`` (int64).
+    pbar: "np.ndarray"
+    #: Switch id → position in ``instance.switches``.
+    switch_pos: dict[NodeId, int]
+    #: Pair tuple → position in ``instance.pairs``.
+    pair_index: dict[tuple[NodeId, FlowId], int]
 
 
 @dataclass
@@ -169,6 +192,37 @@ class FMSSMInstance:
     def total_max_programmability(self) -> int:
         """Upper bound on obj2: every programmable pair active."""
         return sum(self.pbar.values())
+
+    def pair_arrays(self) -> PairArrays:
+        """Dense array views over the programmable pairs (cached).
+
+        The first call builds them in ``pairs`` order; subsequent calls
+        return the same object.  Kept out of ``__post_init__`` so
+        instances that never touch the vectorized kernels do not pay for
+        the numpy import or the array build.
+        """
+        cached = self.__dict__.get("_pair_arrays")
+        if cached is None:
+            import numpy as np
+
+            switch_pos = {s: i for i, s in enumerate(self.switches)}
+            count = len(self._pairs)
+            cached = PairArrays(
+                switch_code=np.fromiter(
+                    (switch_pos[s] for s, _ in self._pairs),
+                    dtype=np.int64,
+                    count=count,
+                ),
+                pbar=np.fromiter(
+                    (self.pbar[pair] for pair in self._pairs),
+                    dtype=np.int64,
+                    count=count,
+                ),
+                switch_pos=switch_pos,
+                pair_index={pair: k for k, pair in enumerate(self._pairs)},
+            )
+            self.__dict__["_pair_arrays"] = cached
+        return cached
 
     @property
     def total_iterations(self) -> int:

@@ -118,14 +118,26 @@ def solve_form_with_highs(
     )
 
 
-def solve_form_relaxation(form: StandardForm) -> SolveResult:
+def solve_form_relaxation(
+    form: StandardForm, basis: object | None = None
+) -> SolveResult:
     """Solve the LP relaxation of ``form`` (integrality dropped).
 
     The relaxation's objective is a *dual bound* on the MILP: no integer
     solution can beat it.  An infeasible relaxation proves the MILP
     infeasible.  Used by the PM-seeded optimality certificate.
+
+    ``basis`` is an opaque warm-start hint from a previous (structurally
+    similar) relaxation, as carried by
+    :class:`repro.fmssm.optimal.WarmChain`.  scipy's ``linprog`` exposes
+    no basis API, so the default backend ignores the hint and returns
+    ``basis=None`` — results are identical with or without it, which the
+    incremental sweep's bit-identity guarantee relies on.  A backend
+    that does crossover from a basis (e.g. ``highspy``, when installed)
+    may plug in here; it must still return the same optimal objective.
     """
     chaos.check("highs.relax")
+    del basis  # no basis API in scipy's linprog; accepted for interface parity
     start = time.perf_counter()
     raw = optimize.linprog(
         c=form.c,

@@ -19,23 +19,54 @@ that cheap:
     Direct sparse compilation of problem P′ — the fast exact-solver
     path behind ``solve_optimal(compile="sparse")``, with per-shape
     structural caching across the scenarios of a sweep.
+
+:mod:`repro.perf.shm`
+    Zero-copy shared-memory fan-out: the sweep plan's numpy buffers are
+    parked in one segment every pool worker aliases read-only.
+
+:mod:`repro.perf.incremental`
+    Cross-scenario delta chaining: minimum-Hamming-distance scenario
+    ordering and neighbor-solution repair for warm-started exact solves.
 """
 
-from repro.perf.coefficients import CoefficientTable
+from repro.perf.coefficients import CoefficientArrays, CoefficientTable
 from repro.perf.compile import (
     CompiledFMSSM,
     FMSSMCompiler,
     compile_fmssm,
     default_compiler,
 )
-from repro.perf.sweep import SweepPlan, parallel_sweep
+from repro.perf.incremental import chain_segments, hamming_chain, repair_solution
+from repro.perf.shm import (
+    FanoutStats,
+    SegmentLease,
+    SharedPayload,
+    active_segments,
+    dumps_shared,
+    loads_shared,
+    shm_available,
+)
+from repro.perf.sweep import ShmPlanData, SweepPlan, fanout_summary, parallel_sweep
 
 __all__ = [
     "CoefficientTable",
+    "CoefficientArrays",
     "SweepPlan",
+    "ShmPlanData",
     "parallel_sweep",
+    "fanout_summary",
     "CompiledFMSSM",
     "FMSSMCompiler",
     "compile_fmssm",
     "default_compiler",
+    "hamming_chain",
+    "chain_segments",
+    "repair_solution",
+    "SharedPayload",
+    "SegmentLease",
+    "FanoutStats",
+    "dumps_shared",
+    "loads_shared",
+    "shm_available",
+    "active_segments",
 ]

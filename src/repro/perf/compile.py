@@ -37,6 +37,7 @@ instead of rebuilding.
 from __future__ import annotations
 
 from collections import OrderedDict
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -220,6 +221,35 @@ class FMSSMCompiler:
         if len(self._shapes) > self._max_cached_shapes:
             self._shapes.popitem(last=False)
         return arrays
+
+    def precompute(
+        self, shapes: Iterable[tuple[int, int, int]]
+    ) -> dict[tuple[int, int, int], dict[str, np.ndarray]]:
+        """Build (and cache) the index arrays for every given shape.
+
+        The parallel sweep predicts each scenario's (N, M, P) cheaply in
+        the parent, precomputes the structural blocks once, and ships
+        them to workers through the shared-memory transport — every
+        worker then aliases the same arrays instead of rebuilding them.
+        Returns the key → arrays mapping for :meth:`adopt_shapes`.
+        """
+        return {key: self._shape_arrays(*key) for key in dict.fromkeys(shapes)}
+
+    def adopt_shapes(
+        self, mapping: dict[tuple[int, int, int], dict[str, np.ndarray]]
+    ) -> None:
+        """Install precomputed shape arrays (worker-side of :meth:`precompute`).
+
+        Mispredicted or missing keys are harmless — :meth:`_shape_arrays`
+        computes on demand.  The LRU bound still applies, so adopting
+        more shapes than ``max_cached_shapes`` keeps only the most
+        recently inserted ones.
+        """
+        for key, arrays in mapping.items():
+            self._shapes[key] = arrays
+            self._shapes.move_to_end(key)
+            if len(self._shapes) > self._max_cached_shapes:
+                self._shapes.popitem(last=False)
 
     def compile(
         self,

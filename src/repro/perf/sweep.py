@@ -31,6 +31,23 @@ Resilience (all opt-in, zero overhead when unused):
   ``checkpoint_every`` completions; a killed sweep resumes from the last
   checkpoint bit-identically to an uninterrupted run.
 
+Fan-out transports (``transport=``): the classic ``"pickle"`` route
+serializes the whole plan into every worker; the ``"shm"`` route strips
+the plan down to the coefficient arrays plus small scalars, parks the
+array buffers in one :mod:`multiprocessing.shared_memory` segment
+(:mod:`repro.perf.shm`) and ships workers only a few tens of kilobytes
+in band — workers rebuild the context from read-only views aliasing the
+segment.  ``"auto"`` (default) picks shm when the platform and context
+support it and silently degrades otherwise.
+
+Incremental chaining (``incremental=True``): scenarios are ordered into
+a minimum-Hamming-distance chain (:mod:`repro.perf.incremental`) and
+each worker walks one contiguous segment, threading a
+:class:`~repro.fmssm.optimal.WarmChain` through its ``optimal`` solves —
+the previous scenario's solution is repaired into the next instance and
+seeds the solver.  Results stay bit-identical to independent solves (see
+the ``WarmChain`` docstring for why).
+
 Fault-injection sites (``sweep.task``, ``sweep.payload``,
 ``sweep.checkpoint``) are threaded through the hot paths; see
 :mod:`repro.resilience.chaos`.
@@ -39,6 +56,7 @@ Fault-injection sites (``sweep.task``, ``sweep.payload``,
 from __future__ import annotations
 
 import pickle
+import time
 import warnings
 from collections.abc import Sequence
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -50,8 +68,17 @@ from repro.control.failures import FailureScenario
 from repro.exceptions import DegradedResultWarning
 from repro.fmssm.evaluation import RecoveryEvaluation, evaluate_solution
 from repro.fmssm.instance import FMSSMInstance
-from repro.fmssm.optimal import solve_optimal
+from repro.fmssm.optimal import WarmChain, solve_optimal
 from repro.fmssm.solution import RecoverySolution
+from repro.perf.incremental import chain_segments, hamming_chain
+from repro.perf.shm import (
+    FanoutStats,
+    SegmentLease,
+    SharedPayload,
+    loads_shared,
+    shm_available,
+    timed_dumps_shared,
+)
 from repro.resilience import chaos
 from repro.resilience.checkpoint import (
     SweepCheckpoint,
@@ -65,7 +92,10 @@ from repro.resilience.degradation import (
     solve_with_ladder,
 )
 
-__all__ = ["SweepPlan", "parallel_sweep"]
+__all__ = ["SweepPlan", "ShmPlanData", "parallel_sweep", "fanout_summary"]
+
+#: Recognized values of ``parallel_sweep``'s ``transport`` parameter.
+_TRANSPORTS = ("auto", "shm", "pickle")
 
 
 @dataclass
@@ -87,8 +117,56 @@ class SweepPlan:
     chaos_plan: "chaos.ChaosPlan | None" = field(default=None)
 
 
+@dataclass
+class ShmPlanData:
+    """The slim plan shipped over the shared-memory transport.
+
+    Carries everything a worker needs to rebuild a :class:`SweepPlan`
+    *except* the heavyweight pieces of the context: the programmability
+    model (hundreds of kilobytes of path-count state the workers never
+    consult once the table is materialized) is dropped entirely, and the
+    coefficient table plus flow population travel as dense
+    :class:`~repro.perf.coefficients.CoefficientArrays` whose buffers
+    pickle protocol 5 diverts into the shared segment.  ``shapes`` holds
+    the compiler's structural index arrays precomputed by the parent for
+    every predicted (N, M, P) — also shared, so no worker rebuilds them.
+    """
+
+    topology: object
+    plane: object
+    delay_model: object
+    arrays: object  # CoefficientArrays
+    scenarios: tuple[FailureScenario, ...]
+    optimal_time_limit_s: float = 300.0
+    optimal_compile: str = "sparse"
+    ladder: LadderPolicy | None = None
+    validate: bool = False
+    chaos_plan: "chaos.ChaosPlan | None" = field(default=None)
+    shapes: dict[tuple[int, int, int], dict[str, object]] = field(default_factory=dict)
+
+    def rebuild_context(self) -> "ExperimentContext":  # noqa: F821
+        """Reconstruct an :class:`ExperimentContext` around the arrays.
+
+        The rebuilt context has its coefficient table pre-materialized
+        (so instance grounding never consults the programmability model,
+        which is absent) and draws its flow population from the table —
+        the same objects, in the same order, as the parent's context.
+        """
+        from repro.experiments.scenarios import ExperimentContext
+
+        table = self.arrays.to_table()
+        return ExperimentContext(
+            topology=self.topology,
+            flows=list(table.flows),
+            plane=self.plane,
+            programmability=None,  # type: ignore[arg-type] - never consulted
+            delay_model=self.delay_model,
+            _table=table,
+        )
+
+
 #: Per-worker state, populated by :func:`_init_worker`.
-_WORKER: dict[str, SweepPlan] = {}
+_WORKER: dict[str, object] = {}
 
 #: Algorithms whose per-task cost dwarfs pool overhead (exact solves).
 _HEAVY_ALGORITHMS = frozenset({"optimal", "optimal-two-stage", "retroflow-ip"})
@@ -98,11 +176,40 @@ _MIN_PARALLEL_TASKS = 64
 
 
 def _init_worker(payload: bytes) -> None:
-    """Pool initializer: unpickle the shared plan once per worker."""
+    """Pool initializer (pickle route): unpickle the plan once per worker."""
+    start = time.perf_counter()
     plan = pickle.loads(payload)
     _WORKER["plan"] = plan
     if plan.chaos_plan is not None:
         chaos.install(plan.chaos_plan)
+    _WORKER["init_s"] = time.perf_counter() - start
+
+
+def _init_worker_shm(payload: SharedPayload) -> None:
+    """Pool initializer (shm route): attach to the segment, rebuild the plan.
+
+    The big arrays come back as read-only views aliasing the shared
+    segment — no per-worker copy — and the compiler's structural cache
+    is pre-seeded from the parent's precomputed shapes.
+    """
+    start = time.perf_counter()
+    data: ShmPlanData = loads_shared(payload)
+    _WORKER["plan"] = SweepPlan(
+        data.rebuild_context(),
+        data.scenarios,
+        data.optimal_time_limit_s,
+        data.optimal_compile,
+        data.ladder,
+        data.validate,
+        data.chaos_plan,
+    )
+    if data.chaos_plan is not None:
+        chaos.install(data.chaos_plan)
+    if data.shapes:
+        from repro.perf.compile import default_compiler
+
+        default_compiler().adopt_shapes(data.shapes)
+    _WORKER["init_s"] = time.perf_counter() - start
 
 
 def _solve(
@@ -112,19 +219,26 @@ def _solve(
     optimal_compile: str = "sparse",
     ladder: LadderPolicy | None = None,
     validate: bool = False,
+    warm_chain: WarmChain | None = None,
 ) -> tuple[RecoverySolution, DegradationReport | None]:
     """Run one algorithm on one instance (same routing as the serial path).
 
     With a ladder, ``optimal`` solves walk the rung chain and return
     their degradation trail; heuristics optionally pass through the
-    independent validator.
+    independent validator.  ``warm_chain`` threads incremental-sweep
+    warm-start state through plain ``optimal`` solves (ladder runs stay
+    chainless — rung demotions would poison the chain with partial
+    answers).
     """
     if algorithm == "optimal":
         if ladder is not None:
             return solve_with_ladder(instance, ladder)
         return (
             solve_optimal(
-                instance, time_limit_s=time_limit_s, compile=optimal_compile
+                instance,
+                time_limit_s=time_limit_s,
+                compile=optimal_compile,
+                warm_chain=warm_chain,
             ),
             None,
         )
@@ -137,9 +251,14 @@ def _solve(
     return solution, None
 
 
-def _run_task(
-    task: tuple[int, str],
-) -> tuple[int, str, RecoverySolution, RecoveryEvaluation, dict | None]:
+#: One finished task: (scenario index, algorithm, solution, evaluation,
+#: degradation dict, worker init seconds).
+_TaskResult = tuple[
+    int, str, RecoverySolution, RecoveryEvaluation, "dict | None", "float | None"
+]
+
+
+def _run_task(task: tuple[int, str]) -> _TaskResult:
     """Worker body: solve + evaluate one (scenario index, algorithm) task."""
     chaos.check("sweep.task")
     index, algorithm = task
@@ -156,7 +275,43 @@ def _run_task(
     evaluation = evaluate_solution(instance, solution)
     return index, algorithm, solution, evaluation, (
         None if report is None else report.to_dict()
-    )
+    ), _WORKER.get("init_s")
+
+
+def _run_chain_task(
+    segment: Sequence[tuple[int, tuple[str, ...]]],
+) -> list[_TaskResult]:
+    """Worker body for one incremental-chain segment.
+
+    Walks the scenarios in chain order, threading one
+    :class:`~repro.fmssm.optimal.WarmChain` through the ``optimal``
+    solves so each inherits the previous scenario's repaired solution
+    and LP basis.  Every (scenario, algorithm) still passes the
+    ``sweep.task`` chaos site individually, like independent tasks do.
+    """
+    plan = _WORKER["plan"]
+    warm_chain = WarmChain()
+    out: list[_TaskResult] = []
+    for index, algorithms in segment:
+        instance = plan.context.instance(plan.scenarios[index])
+        for algorithm in algorithms:
+            chaos.check("sweep.task")
+            solution, report = _solve(
+                instance,
+                algorithm,
+                plan.optimal_time_limit_s,
+                plan.optimal_compile,
+                plan.ladder,
+                plan.validate,
+                warm_chain=warm_chain if plan.ladder is None else None,
+            )
+            evaluation = evaluate_solution(instance, solution)
+            out.append((
+                index, algorithm, solution, evaluation,
+                None if report is None else report.to_dict(),
+                _WORKER.get("init_s"),
+            ))
+    return out
 
 
 class _SweepRunner:
@@ -173,6 +328,8 @@ class _SweepRunner:
         validate: bool,
         checkpoint: SweepCheckpoint | None,
         checkpoint_every: int,
+        transport: str = "auto",
+        incremental: bool = False,
     ) -> None:
         from repro.experiments.runner import ScenarioResult
 
@@ -185,6 +342,10 @@ class _SweepRunner:
         self.validate = validate
         self.checkpoint = checkpoint
         self.checkpoint_every = max(1, checkpoint_every)
+        self.transport = transport
+        self.incremental = incremental
+        #: Fan-out transport stats of the last pool launch, if any.
+        self.fanout: FanoutStats | None = None
         self.results = [
             ScenarioResult(scenario=scenario, degradation=DegradationReport())
             for scenario in scenarios
@@ -245,7 +406,10 @@ class _SweepRunner:
         solution: RecoverySolution,
         evaluation: RecoveryEvaluation,
         report_dict: dict | None,
+        init_s: float | None = None,
     ) -> None:
+        if init_s is not None and self.fanout is not None:
+            self.fanout.worker_init_s = max(self.fanout.worker_init_s, init_s)
         result = self.results[index]
         result.solutions[algorithm] = solution
         result.evaluations[algorithm] = evaluation
@@ -267,9 +431,40 @@ class _SweepRunner:
             if algorithm not in self.results[index].solutions
         ]
 
+    # -- incremental chaining ------------------------------------------
+    def chain_plan(
+        self, tasks: Sequence[tuple[int, str]], parts: int
+    ) -> list[list[tuple[int, tuple[str, ...]]]]:
+        """Group ``tasks`` by scenario and order them into chain segments.
+
+        Scenarios with pending work are ordered by
+        :func:`~repro.perf.incremental.hamming_chain` and split into at
+        most ``parts`` contiguous segments; each element is
+        ``(scenario index, pending algorithms in caller order)``.
+        """
+        by_scenario: dict[int, list[str]] = {}
+        for index, algorithm in tasks:
+            by_scenario.setdefault(index, []).append(algorithm)
+        indices = sorted(by_scenario)
+        order = hamming_chain([self.scenarios[i] for i in indices])
+        chain = [indices[i] for i in order]
+        return [
+            [(i, tuple(by_scenario[i])) for i in segment]
+            for segment in chain_segments(chain, parts)
+        ]
+
     # -- execution -----------------------------------------------------
     def run_serial(self, tasks: Sequence[tuple[int, str]]) -> None:
-        """Solve ``tasks`` in-process, in deterministic order."""
+        """Solve ``tasks`` in-process, in deterministic order.
+
+        With ``incremental=True`` the scenarios run in chain order with
+        one warm chain across the whole sweep — results are identical,
+        only the visiting order and solver seeding change.
+        """
+        if self.incremental and tasks:
+            for row in self._serial_chain(tasks):
+                self._store(*row)
+            return
         for index, algorithm in tasks:
             chaos.check("sweep.task")
             instance = self.context.instance(self.scenarios[index])
@@ -287,21 +482,123 @@ class _SweepRunner:
                 None if report is None else report.to_dict(),
             )
 
-    def run_pool(self, tasks: Sequence[tuple[int, str]], workers: int) -> bool:
-        """Fan ``tasks`` over a process pool; True when all completed.
+    def _serial_chain(self, tasks: Sequence[tuple[int, str]]):
+        """In-process incremental chain (generator of task-result rows)."""
+        warm_chain = WarmChain()
+        (segment,) = self.chain_plan(tasks, 1)
+        for index, algorithms in segment:
+            instance = self.context.instance(self.scenarios[index])
+            for algorithm in algorithms:
+                chaos.check("sweep.task")
+                solution, report = _solve(
+                    instance,
+                    algorithm,
+                    self.optimal_time_limit_s,
+                    self.optimal_compile,
+                    self.ladder,
+                    self.validate,
+                    warm_chain=warm_chain if self.ladder is None else None,
+                )
+                evaluation = evaluate_solution(instance, solution)
+                yield (
+                    index, algorithm, solution, evaluation,
+                    None if report is None else report.to_dict(), None,
+                )
 
-        Returns False (after keeping every received result) when the
-        pool breaks or a result refuses to pickle — the caller then
-        finishes the remainder serially.  Task-level exceptions (solver
-        bugs, validation failures without a ladder) propagate unchanged,
-        exactly as the serial path would raise them.
+    # -- fan-out encoding ----------------------------------------------
+    def _predict_shapes(self) -> dict[tuple[int, int, int], dict[str, object]]:
+        """Precompute the compiler's structural arrays for every scenario.
+
+        The (N, M, P) of a scenario follows from the control plane and
+        the coefficient table without grounding the instance: N offline
+        switches from the failed domains, M surviving controllers, and P
+        programmable pairs summed over the offline switches' inverted
+        index.  Shipped to workers so none of them rebuilds the blocks.
+        """
+        from repro.perf.compile import default_compiler
+
+        table = self.context.materialize_table()
+        plane = self.context.plane
+        shapes = []
+        for scenario in self.scenarios:
+            offline = scenario.offline_switches(plane)
+            shapes.append((
+                len(offline),
+                plane.n_controllers - scenario.n_failures,
+                sum(len(table.flows_programmable_at(s)) for s in offline),
+            ))
+        return default_compiler().precompute(shapes)
+
+    def _slim_plan(self) -> ShmPlanData:
+        """The shm-route plan: context stripped to its array form."""
+        from repro.perf.coefficients import CoefficientArrays
+
+        table = self.context.materialize_table()
+        heavy = any(a in _HEAVY_ALGORITHMS for a in self.algorithms)
+        return ShmPlanData(
+            topology=self.context.topology,
+            plane=self.context.plane,
+            delay_model=self.context.delay_model,
+            arrays=CoefficientArrays.from_table(table),
+            scenarios=self.scenarios,
+            optimal_time_limit_s=self.optimal_time_limit_s,
+            optimal_compile=self.optimal_compile,
+            ladder=self.ladder,
+            validate=self.validate,
+            chaos_plan=chaos.active_plan(),
+            shapes=self._predict_shapes() if heavy else {},
+        )
+
+    def _encode_plan(
+        self,
+    ) -> tuple[object, tuple, SegmentLease | None, FanoutStats] | None:
+        """Serialize the plan for the chosen transport.
+
+        Returns ``(initializer, initargs, lease, stats)``, or ``None``
+        when nothing can be shipped (unpicklable plan) and the caller
+        must stay serial.  ``transport="auto"`` degrades to pickle
+        silently; an explicit ``transport="shm"`` that cannot be honored
+        degrades too but says so in a :class:`DegradedResultWarning`.
         """
         try:
             self.context.materialize_table()
         except AttributeError:  # duck-typed contexts without a table cache
             pass
+
+        if self.transport in ("auto", "shm"):
+            reason = None
+            data = None
+            if not shm_available():
+                reason = "shared memory unavailable on this platform"
+            else:
+                try:
+                    data = self._slim_plan()
+                except Exception as exc:
+                    # Non-integer node ids, duck-typed contexts, …
+                    reason = f"context cannot be array-encoded ({exc!r})"
+            if data is not None:
+                payload, lease, stats = timed_dumps_shared(data)
+                if payload.segment is not None:
+                    inband = chaos.transform("sweep.payload", payload.inband)
+                    payload = SharedPayload(
+                        inband=inband,
+                        segment=payload.segment,
+                        offsets=payload.offsets,
+                    )
+                    return _init_worker_shm, (payload,), lease, stats
+                reason = "payload carried no shareable buffers"
+            if self.transport == "shm":
+                warnings.warn(
+                    DegradedResultWarning(
+                        f"shm transport requested but {reason}; "
+                        f"falling back to the pickle route"
+                    ),
+                    stacklevel=5,
+                )
+
+        start = time.perf_counter()
         try:
-            payload = pickle.dumps(
+            payload_bytes = pickle.dumps(
                 SweepPlan(
                     self.context,
                     self.scenarios,
@@ -315,22 +612,51 @@ class _SweepRunner:
             )
         except Exception as exc:  # unpicklable context/scenarios: stay serial
             self._warn_fallback(f"sweep plan failed to pickle ({exc!r})")
+            return None
+        payload_bytes = chaos.transform("sweep.payload", payload_bytes)
+        stats = FanoutStats(
+            transport="pickle",
+            payload_bytes=len(payload_bytes),
+            encode_s=time.perf_counter() - start,
+        )
+        return _init_worker, (payload_bytes,), None, stats
+
+    def run_pool(self, tasks: Sequence[tuple[int, str]], workers: int) -> bool:
+        """Fan ``tasks`` over a process pool; True when all completed.
+
+        Returns False (after keeping every received result) when the
+        pool breaks or a result refuses to pickle — the caller then
+        finishes the remainder serially.  Task-level exceptions (solver
+        bugs, validation failures without a ladder) propagate unchanged,
+        exactly as the serial path would raise them.  The shared-memory
+        segment (if any) is released on every exit path, including chaos
+        kills and checkpoint aborts.
+        """
+        encoded = self._encode_plan()
+        if encoded is None:
             return False
-        payload = chaos.transform("sweep.payload", payload)
+        initializer, initargs, lease, stats = encoded
+        self.fanout = stats
 
         try:
             with ProcessPoolExecutor(
-                max_workers=workers, initializer=_init_worker, initargs=(payload,)
+                max_workers=workers, initializer=initializer, initargs=initargs
             ) as pool:
-                futures = {pool.submit(_run_task, task): task for task in tasks}
+                if self.incremental:
+                    futures = {
+                        pool.submit(_run_chain_task, segment): segment
+                        for segment in self.chain_plan(tasks, workers)
+                    }
+                else:
+                    futures = {pool.submit(_run_task, task): task for task in tasks}
                 pending = set(futures)
                 while pending:
                     done, pending = wait(pending, return_when=FIRST_COMPLETED)
                     for future in done:
-                        index, algorithm, solution, evaluation, report = (
-                            future.result()
-                        )
-                        self._store(index, algorithm, solution, evaluation, report)
+                        outcome = future.result()
+                        rows = outcome if self.incremental else [outcome]
+                        for row in rows:
+                            self._store(*row)
         except (OSError, pickle.PicklingError, BrokenProcessPool) as exc:
             # Sandboxes without fork/spawn, a worker killed mid-task, or
             # results that refuse to pickle: keep what we have, finish
@@ -338,6 +664,8 @@ class _SweepRunner:
             self._warn_fallback(f"process pool failed ({exc!r})")
             return False
         finally:
+            if lease is not None:
+                lease.release()
             self._flush_checkpoint()
         return True
 
@@ -357,6 +685,7 @@ class _SweepRunner:
         self._flush_checkpoint()
         if self.checkpoint is not None and len(self.completed) == len(self.scenarios):
             self.checkpoint.clear()
+        fanout = None if self.fanout is None else self.fanout.to_dict()
         for result in self.results:
             result.solutions = {
                 a: result.solutions[a] for a in self.algorithms if a in result.solutions
@@ -366,7 +695,22 @@ class _SweepRunner:
                 for a in self.algorithms
                 if a in result.evaluations
             }
+            if fanout is not None:
+                result.meta["fanout"] = dict(fanout)
         return self.results
+
+
+def fanout_summary(results: "Sequence[ScenarioResult]") -> dict[str, object] | None:  # noqa: F821
+    """The sweep-level fan-out stats stamped on ``results`` (or ``None``).
+
+    Every result of one sweep carries the same ``meta["fanout"]`` dict;
+    this helper surfaces it once for reports and benchmarks.
+    """
+    for result in results:
+        fanout = result.meta.get("fanout")
+        if fanout is not None:
+            return dict(fanout)
+    return None
 
 
 def parallel_sweep(
@@ -381,6 +725,8 @@ def parallel_sweep(
     validate: bool = False,
     checkpoint_path: object = None,
     checkpoint_every: int = 4,
+    transport: str = "auto",
+    incremental: bool = False,
 ) -> "list[ScenarioResult]":  # noqa: F821
     """Run ``scenarios`` × ``algorithms`` over a process pool.
 
@@ -403,9 +749,23 @@ def parallel_sweep(
     ``optimal`` solves down a degradation ladder, ``validate`` re-checks
     heuristic solutions, and ``checkpoint_path`` enables periodic
     checkpointing with bit-identical resume.
+
+    Performance knobs: ``transport`` picks how the plan reaches workers
+    (``"auto"`` prefers the zero-copy shared-memory route and degrades
+    to pickle; ``"shm"`` degrades too but warns; ``"pickle"`` forces the
+    classic route), ``incremental`` orders scenarios into a minimum-
+    Hamming-distance chain and warm-starts each exact solve from its
+    chain neighbor.  Both are pure execution strategies: results are
+    bit-identical to the defaults, and neither affects the checkpoint
+    fingerprint — a sweep may resume under a different transport or
+    chaining mode.
     """
     import os
 
+    if transport not in _TRANSPORTS:
+        raise ValueError(
+            f"unknown transport {transport!r}; expected one of {_TRANSPORTS}"
+        )
     scenarios = tuple(scenarios)
     algorithms = tuple(algorithms)
 
@@ -431,6 +791,8 @@ def parallel_sweep(
         validate,
         checkpoint,
         checkpoint_every,
+        transport=transport,
+        incremental=incremental,
     )
     runner.restore()
     tasks = runner.pending_tasks()

@@ -39,11 +39,35 @@ from __future__ import annotations
 
 import time
 
+import numpy as np
+
 from repro.fmssm.instance import FMSSMInstance
 from repro.fmssm.solution import RecoverySolution
 from repro.types import ControllerId, FlowId, NodeId
 
-__all__ = ["ProgrammabilityMedic", "solve_pm"]
+__all__ = ["ProgrammabilityMedic", "solve_pm", "grouped_capacity_select"]
+
+
+def grouped_capacity_select(groups: np.ndarray, capacity: np.ndarray) -> np.ndarray:
+    """Scan positions of the first ``capacity[g]`` members of each group.
+
+    ``groups`` lists each candidate's group id in scan order.  Because a
+    candidate only consumes its *own* group's budget, the sequential
+    scan "take while the group's budget lasts" selects, per group,
+    exactly its first ``capacity[g]`` candidates — which this computes
+    with one stable sort instead of a per-candidate loop.  The returned
+    positions index into the scan order, ascending, so downstream
+    bookkeeping sees the same activation set the loop would produce.
+    """
+    if groups.size == 0:
+        return groups
+    order = np.argsort(groups, kind="stable")
+    sorted_groups = groups[order]
+    boundaries = np.flatnonzero(np.r_[True, sorted_groups[1:] != sorted_groups[:-1]])
+    sizes = np.diff(np.r_[boundaries, len(order)])
+    ranks = np.arange(len(order)) - np.repeat(boundaries, sizes)
+    keep = ranks < capacity[sorted_groups]
+    return np.sort(order[keep])
 
 
 class ProgrammabilityMedic:
@@ -251,8 +275,15 @@ class ProgrammabilityMedic:
 
         ``_select_switch`` never runs after phase 1, so the level buckets
         are not maintained here — only ``_h`` (the per-flow
-        programmability the solution reports) advances.
+        programmability the solution reports) advances.  Without the
+        delay bound (the default) the scan is a pure capacity-grouped
+        selection and runs through the vectorized kernel; the strict
+        variant keeps the sequential loop, whose cumulative delay budget
+        is order-dependent across controllers.
         """
+        if not self._enforce_delay and self._instance.pairs:
+            self._phase2_vectorized()
+            return
         instance = self._instance
         pairs = list(instance.pairs)
         if self._phase2_order == "greedy":
@@ -281,6 +312,71 @@ class ProgrammabilityMedic:
             total_delay += pair_delay
             available[controller] -= 1
             h[flow_id] += pbar[pair]
+            sdn_pairs.add(pair)
+        self._total_delay_ms = total_delay
+
+    def _phase2_vectorized(self) -> None:
+        """The saturation scan as one grouped-capacity selection.
+
+        Bit-identical to the sequential ``_phase2`` loop (asserted by
+        the oracle in ``tests/test_pm_rework_equivalence.py``): the loop
+        activates, per controller, the first ``available`` candidate
+        pairs in scan order, which is exactly what
+        :func:`grouped_capacity_select` computes — without the per-pair
+        ``pbar``/``delay``/``mapping`` dict lookups over the (mostly
+        skipped) full pair population.
+        """
+        instance = self._instance
+        arrays = instance.pair_arrays()
+        pairs = instance.pairs
+        n_pairs = len(pairs)
+        if self._phase2_order == "greedy":
+            # Stable sort on -pbar: ties keep ascending pair order, the
+            # same order the tuple sort key produces.
+            order = np.argsort(-arrays.pbar, kind="stable")
+        else:
+            order = np.arange(n_pairs)
+
+        controllers = instance.controllers
+        controller_pos = {c: i for i, c in enumerate(controllers)}
+        ctrl_of_switch = np.full(len(instance.switches), -1, dtype=np.int64)
+        for switch, controller in self._mapping.items():
+            ctrl_of_switch[arrays.switch_pos[switch]] = controller_pos[controller]
+        ctrl = ctrl_of_switch[arrays.switch_code]
+
+        already = np.zeros(n_pairs, dtype=bool)
+        pair_index = arrays.pair_index
+        for pair in self._sdn_pairs:
+            k = pair_index.get(pair)
+            if k is not None:
+                already[k] = True
+
+        scan = order[(~already[order]) & (ctrl[order] >= 0)]
+        if scan.size == 0:
+            return
+        capacity = np.fromiter(
+            (self._available[c] for c in controllers),
+            dtype=np.int64,
+            count=len(controllers),
+        )
+        chosen = scan[grouped_capacity_select(ctrl[scan], capacity)]
+        if chosen.size == 0:
+            return
+
+        h = self._h
+        sdn_pairs = self._sdn_pairs
+        available = self._available
+        mapping = self._mapping
+        delay = instance.delay
+        total_delay = self._total_delay_ms
+        gains = arrays.pbar[chosen].tolist()
+        for k, gain in zip(chosen.tolist(), gains):
+            pair = pairs[k]
+            switch, flow_id = pair
+            controller = mapping[switch]
+            total_delay += delay[(switch, controller)]
+            available[controller] -= 1
+            h[flow_id] += gain
             sdn_pairs.add(pair)
         self._total_delay_ms = total_delay
 

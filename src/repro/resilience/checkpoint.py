@@ -114,6 +114,7 @@ def result_to_json(result: "ScenarioResult") -> dict[str, object]:  # noqa: F821
         "degradation": (
             None if result.degradation is None else result.degradation.to_dict()
         ),
+        "meta": result.meta,
     }
 
 
@@ -140,6 +141,9 @@ def result_from_json(
         result.evaluations[algorithm] = evaluate_solution(instance, solution)
     if payload.get("degradation") is not None:
         result.degradation = DegradationReport.from_dict(payload["degradation"])
+    # ``meta`` arrived with the fan-out stats work; older checkpoints
+    # (schema 1 without the key) restore with an empty dict.
+    result.meta = dict(payload.get("meta", {}))
     return result
 
 

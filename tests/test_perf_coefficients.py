@@ -111,3 +111,82 @@ class TestInstanceGrounding:
 
     def test_materialize_table_idempotent(self, att_context):
         assert att_context.materialize_table() is att_context.materialize_table()
+
+
+class TestFlowsProgrammableAtCache:
+    def test_repeated_queries_return_same_tuple(self, grid_pair):
+        _, table = grid_pair
+        switch = next(iter(table._programmable_at))
+        first = table.flows_programmable_at(switch)
+        assert table.flows_programmable_at(switch) is first
+
+    def test_unknown_switch_cached_as_empty(self, grid_pair):
+        _, table = grid_pair
+        assert table.flows_programmable_at(999_999) == ()
+        assert table.flows_programmable_at(999_999) is table.flows_programmable_at(999_999)
+
+    def test_cache_survives_pickling(self, grid_pair):
+        import pickle
+
+        _, table = grid_pair
+        switch = next(iter(table._programmable_at))
+        table.flows_programmable_at(switch)
+        clone = pickle.loads(pickle.dumps(table))
+        assert clone.flows_programmable_at(switch) == table.flows_programmable_at(switch)
+
+
+class TestCoefficientArrays:
+    def test_round_trip_rebuilds_equal_table(self, grid_pair):
+        from repro.perf.coefficients import CoefficientArrays
+
+        _, table = grid_pair
+        rebuilt = CoefficientArrays.from_table(table).to_table()
+        assert rebuilt._flows == table._flows
+        assert list(rebuilt._flows) == list(table._flows)  # same order
+        assert rebuilt._p == table._p
+        assert rebuilt._pbar == table._pbar
+        assert rebuilt._programmable_at == table._programmable_at
+        assert rebuilt._max_pro == table._max_pro
+
+    def test_round_trip_yields_python_ints(self, grid_pair):
+        from repro.perf.coefficients import CoefficientArrays
+
+        _, table = grid_pair
+        rebuilt = CoefficientArrays.from_table(table).to_table()
+        for flow in rebuilt.flows:
+            assert all(type(node) is int for node in flow.path)
+        for (switch, _), value in rebuilt._pbar.items():
+            assert type(switch) is int and type(value) is int
+
+    def test_non_integer_node_ids_rejected(self):
+        from repro.flows.flow import Flow
+        from repro.perf.coefficients import CoefficientArrays
+
+        table = CoefficientTable(
+            flows={("a", "b"): Flow("a", "b", ("a", "m", "b"))},
+            p={},
+            pbar={},
+            programmable_at={},
+            max_pro={},
+        )
+        with pytest.raises(TypeError):
+            CoefficientArrays.from_table(table)
+
+    def test_grounding_from_rebuilt_table_identical(self, att_context):
+        from repro.perf.coefficients import CoefficientArrays
+
+        scenario = FailureScenario(frozenset({2, 22}))
+        table = att_context.programmability.table()
+        rebuilt = CoefficientArrays.from_table(table).to_table()
+        a = build_instance(
+            att_context.plane, att_context.flows, table, scenario,
+            delay_model=att_context.delay_model,
+        )
+        b = build_instance(
+            att_context.plane, list(rebuilt.flows), rebuilt, scenario,
+            delay_model=att_context.delay_model,
+        )
+        assert a.pbar == b.pbar
+        assert a.flows == b.flows
+        assert a.gamma == b.gamma
+        assert a.ideal_delay_ms == b.ideal_delay_ms

@@ -1,0 +1,237 @@
+"""Incremental cross-scenario solving must never change an answer.
+
+Covers :mod:`repro.perf.incremental` (chain ordering, segmentation,
+neighbor repair), the :class:`~repro.fmssm.optimal.WarmChain` threading
+through ``solve_optimal``, the combinatorial pre-certificate, and the
+headline guarantee: an incremental sweep is bit-identical to independent
+per-scenario solves.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.control.failures import FailureScenario, enumerate_failure_scenarios
+from repro.experiments.scenarios import custom_context
+from repro.fmssm.optimal import WarmChain, _combinatorial_bound, solve_optimal
+from repro.lp.highs import solve_form_relaxation
+from repro.perf.compile import compile_fmssm
+from repro.perf.incremental import chain_segments, hamming_chain, repair_solution
+from repro.perf.sweep import parallel_sweep
+from repro.pm.algorithm import solve_pm
+from repro.resilience.validate import validate_solution
+from repro.topology.generators import ring_topology
+
+
+def _scenarios(sets):
+    return [FailureScenario(frozenset(s)) for s in sets]
+
+
+class TestHammingChain:
+    def test_is_permutation_starting_at_zero(self):
+        scenarios = _scenarios([{1}, {2}, {1, 2}, {3}, {1, 3}])
+        order = hamming_chain(scenarios)
+        assert sorted(order) == list(range(5))
+        assert order[0] == 0
+
+    def test_prefers_nearest_neighbor(self):
+        # From {1}: {1,2} is distance 1, {3,4} is distance 3.
+        scenarios = _scenarios([{1}, {3, 4}, {1, 2}])
+        assert hamming_chain(scenarios) == [0, 2, 1]
+
+    def test_tie_breaks_by_index(self):
+        scenarios = _scenarios([{1}, {1, 3}, {1, 2}])
+        # Both neighbors are at distance 1; the lower index wins.
+        assert hamming_chain(scenarios) == [0, 1, 2]
+
+    def test_deterministic_and_total(self):
+        scenarios = _scenarios([{a, b} for a in range(4) for b in range(4, 7)])
+        assert hamming_chain(scenarios) == hamming_chain(scenarios)
+
+    def test_empty_and_singleton(self):
+        assert hamming_chain([]) == []
+        assert hamming_chain(_scenarios([{5}])) == [0]
+
+    def test_adjacent_distance_never_beaten_by_skipped_candidate(self):
+        scenarios = _scenarios([{a} for a in range(6)] + [{a, a + 1} for a in range(5)])
+        order = hamming_chain(scenarios)
+        sets = [s.failed for s in scenarios]
+        for here, after in zip(order, order[1:]):
+            remaining_at_step = order[order.index(after):]
+            best = min(len(sets[here] ^ sets[i]) for i in remaining_at_step)
+            assert len(sets[here] ^ sets[after]) == best
+
+
+class TestChainSegments:
+    def test_balanced_contiguous(self):
+        assert chain_segments([5, 3, 8, 1, 9, 2, 7], 3) == [[5, 3, 8], [1, 9], [2, 7]]
+
+    def test_fewer_items_than_parts(self):
+        assert chain_segments([4, 2], 5) == [[4], [2]]
+
+    def test_single_part(self):
+        assert chain_segments([1, 2, 3], 1) == [[1, 2, 3]]
+
+    def test_invalid_parts(self):
+        with pytest.raises(ValueError):
+            chain_segments([1], 0)
+
+    def test_concatenation_preserves_order(self):
+        order = list(range(17))
+        segments = chain_segments(order, 4)
+        assert [i for seg in segments for i in seg] == order
+
+
+@pytest.fixture(scope="module")
+def chain_context():
+    return custom_context(
+        ring_topology(10, chords=5, seed=7),
+        controller_sites=(0, 3, 7),
+        capacity=160,
+    )
+
+
+class TestRepairSolution:
+    def test_repaired_solution_is_feasible(self, chain_context):
+        a = chain_context.instance(FailureScenario(frozenset({3})))
+        b = chain_context.instance(FailureScenario(frozenset({7})))
+        neighbor = solve_pm(a)
+        repaired = repair_solution(b, neighbor)
+        assert repaired is not None
+        assert repaired.algorithm == "chain-repair"
+        report = validate_solution(b, repaired, enforce_delay=True)
+        assert report.ok, report.summary()
+
+    def test_repair_within_same_instance_keeps_pairs(self, chain_context):
+        instance = chain_context.instance(FailureScenario(frozenset({3})))
+        neighbor = solve_pm(instance)
+        repaired = repair_solution(instance, neighbor)
+        assert repaired is not None
+        # Same scenario: every neighbor pair survives the repair.
+        assert set(neighbor.active_pairs()) <= set(repaired.active_pairs())
+
+    def test_infeasible_neighbor_gives_no_seed(self, chain_context):
+        from repro.fmssm.solution import RecoverySolution
+
+        instance = chain_context.instance(FailureScenario(frozenset({3})))
+        assert repair_solution(instance, RecoverySolution("x", feasible=False)) is None
+
+    def test_repair_respects_delay_bound(self, chain_context):
+        import dataclasses as dc
+
+        a = chain_context.instance(FailureScenario(frozenset({3})))
+        b = chain_context.instance(FailureScenario(frozenset({7})))
+        tight = dc.replace(b, ideal_delay_ms=b.ideal_delay_ms / 4)
+        repaired = repair_solution(tight, solve_pm(a))
+        assert repaired is not None
+        report = validate_solution(tight, repaired, enforce_delay=True)
+        assert report.ok, report.summary()
+
+
+def _stripped(evaluation):
+    return dataclasses.replace(evaluation, solve_time_s=0.0)
+
+
+def _assert_bit_identical(independent, incremental):
+    assert len(independent) == len(incremental)
+    for a, b in zip(independent, incremental):
+        assert a.scenario == b.scenario
+        assert set(a.solutions) == set(b.solutions)
+        for algorithm in a.solutions:
+            sa, sb = a.solutions[algorithm], b.solutions[algorithm]
+            assert sa.feasible == sb.feasible, (algorithm, a.name)
+            assert sa.mapping == sb.mapping, (algorithm, a.name)
+            assert sa.sdn_pairs == sb.sdn_pairs, (algorithm, a.name)
+            assert sa.meta.get("objective") == sb.meta.get("objective")
+            assert sa.meta.get("solver") == sb.meta.get("solver")
+            assert _stripped(a.evaluations[algorithm]) == _stripped(
+                b.evaluations[algorithm]
+            )
+
+
+class TestIncrementalBitIdentity:
+    def test_serial_chain_matches_independent(self, chain_context):
+        scenarios = enumerate_failure_scenarios(chain_context.plane, 1) + (
+            enumerate_failure_scenarios(chain_context.plane, 2)
+        )
+        algorithms = ("pm", "optimal")
+        independent = parallel_sweep(
+            chain_context, scenarios, algorithms, max_workers=1
+        )
+        incremental = parallel_sweep(
+            chain_context, scenarios, algorithms, max_workers=1, incremental=True
+        )
+        _assert_bit_identical(independent, incremental)
+        # The validator accepts every chained answer too.
+        for result in incremental:
+            for algorithm, solution in result.solutions.items():
+                instance = chain_context.instance(result.scenario)
+                report = validate_solution(
+                    instance, solution, enforce_delay=(algorithm != "pg")
+                )
+                assert report.ok, report.summary()
+
+    def test_warm_chain_threads_state(self, chain_context):
+        chain = WarmChain()
+        for scenario in enumerate_failure_scenarios(chain_context.plane, 1):
+            instance = chain_context.instance(scenario)
+            solution = solve_optimal(instance, warm_chain=chain)
+            assert solution.feasible
+        assert chain.neighbor is not None
+        assert chain.stats.get("chain_seeds", 0) >= 1
+
+    @settings(max_examples=4, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=40), n_failures=st.integers(1, 2))
+    def test_property_chain_identical_across_networks(self, seed, n_failures):
+        context = custom_context(
+            ring_topology(8, chords=4, seed=seed),
+            controller_sites=(0, 3, 6),
+            capacity=120,
+        )
+        scenarios = enumerate_failure_scenarios(context.plane, n_failures)
+        algorithms = ("pm", "optimal")
+        independent = parallel_sweep(context, scenarios, algorithms, max_workers=1)
+        incremental = parallel_sweep(
+            context, scenarios, algorithms, max_workers=1, incremental=True
+        )
+        _assert_bit_identical(independent, incremental)
+
+
+class TestPrecertificate:
+    def test_bound_dominates_lp_relaxation(self, chain_context):
+        for scenario in enumerate_failure_scenarios(chain_context.plane, 1):
+            instance = chain_context.instance(scenario)
+            compiled = compile_fmssm(instance, require_full_recovery=True)
+            relaxation = solve_form_relaxation(compiled.form)
+            if relaxation.objective is None:
+                continue
+            assert _combinatorial_bound(instance) >= relaxation.objective - 1e-9
+
+    def test_precert_agrees_with_model_route(self, chain_context):
+        fired = 0
+        for scenario in enumerate_failure_scenarios(chain_context.plane, 2):
+            instance = chain_context.instance(scenario)
+            sparse = solve_optimal(instance)
+            if sparse.meta.get("solver") != "precert":
+                continue
+            fired += 1
+            model = solve_optimal(instance, compile="model")
+            assert model.feasible
+            assert sparse.meta["objective"] == model.meta["objective"]
+        if fired == 0:
+            pytest.skip("no scenario triggered the pre-certificate")
+
+
+class TestBasisHintIsInert:
+    def test_relaxation_ignores_basis_hint(self, chain_context):
+        instance = chain_context.instance(FailureScenario(frozenset({3})))
+        compiled = compile_fmssm(instance, require_full_recovery=True)
+        plain = solve_form_relaxation(compiled.form)
+        hinted = solve_form_relaxation(compiled.form, basis=object())
+        assert hinted.status == plain.status
+        assert hinted.objective == plain.objective
+        assert hinted.basis is None

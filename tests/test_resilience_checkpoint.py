@@ -231,3 +231,78 @@ class TestResume:
         )
         assert_bit_identical(uninterrupted, results)
         assert not path.exists()
+
+
+class TestShmAndIncrementalResume:
+    """Transport and chaining are not part of the checkpoint identity."""
+
+    def test_interrupted_shm_incremental_sweep_resumes(
+        self, sweep_context, sweep_scenarios, uninterrupted, tmp_path
+    ):
+        from repro.perf import shm
+
+        path = tmp_path / "shm-checkpoint.json"
+        with chaos.inject(
+            chaos.Fault("sweep.checkpoint", "raise-error", at_call=1)
+        ):
+            with pytest.raises(ChaosError):
+                parallel_sweep(
+                    sweep_context, sweep_scenarios, ALGORITHMS,
+                    max_workers=1, optimal_time_limit_s=60.0,
+                    checkpoint_path=path, checkpoint_every=1,
+                    transport="shm", incremental=True,
+                )
+        assert shm.active_segments() == ()
+        resumed = parallel_sweep(
+            sweep_context, sweep_scenarios, ALGORITHMS,
+            max_workers=2, optimal_time_limit_s=60.0,
+            checkpoint_path=path, checkpoint_every=1,
+            transport="shm", incremental=True,
+        )
+        assert_bit_identical(uninterrupted, resumed)
+        assert shm.active_segments() == ()
+        assert not path.exists()
+
+    def test_checkpoint_written_under_pickle_resumes_under_shm(
+        self, sweep_context, sweep_scenarios, uninterrupted, tmp_path
+    ):
+        path = tmp_path / "cross-transport.json"
+        with chaos.inject(
+            chaos.Fault("sweep.checkpoint", "raise-error", at_call=1)
+        ):
+            with pytest.raises(ChaosError):
+                parallel_sweep(
+                    sweep_context, sweep_scenarios, ALGORITHMS,
+                    max_workers=1, optimal_time_limit_s=60.0,
+                    checkpoint_path=path, checkpoint_every=1,
+                    transport="pickle",
+                )
+        resumed = parallel_sweep(
+            sweep_context, sweep_scenarios, ALGORITHMS,
+            max_workers=1, optimal_time_limit_s=60.0,
+            checkpoint_path=path, checkpoint_every=1,
+            transport="shm", incremental=True,
+        )
+        assert_bit_identical(uninterrupted, resumed)
+
+
+class TestResultMetaRoundTrip:
+    def test_meta_survives_checkpoint_round_trip(self, sweep_context, uninterrupted):
+        from repro.resilience.checkpoint import result_from_json, result_to_json
+
+        result = uninterrupted[0]
+        result.meta["fanout"] = {"transport": "shm", "payload_bytes": 123}
+        payload = json.loads(json.dumps(result_to_json(result)))
+        restored = result_from_json(sweep_context, result.scenario, payload)
+        assert restored.meta == result.meta
+
+    def test_legacy_payload_without_meta_restores_empty(
+        self, sweep_context, uninterrupted
+    ):
+        from repro.resilience.checkpoint import result_from_json, result_to_json
+
+        result = uninterrupted[1]
+        payload = result_to_json(result)
+        payload.pop("meta", None)
+        restored = result_from_json(sweep_context, result.scenario, payload)
+        assert restored.meta == {}
