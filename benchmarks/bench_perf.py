@@ -21,7 +21,14 @@ keeps ``BENCH_headline.json`` fresh and well-formed.  Timed stages:
   headline's ``fanout`` section),
 * ``sweep_independent_n40_s`` / ``sweep_incremental_s`` — the exact
   solver over the five n=40 single-failure scenarios, independent
-  per-scenario solves versus the Hamming-chained incremental route.
+  per-scenario solves versus the Hamming-chained incremental route,
+* ``pm_kernel_s`` / ``pg_kernel_s`` — the vectorized array kernels over
+  the full ATT 1+2+3-failure matrix (41 instances), with the dict
+  reference timed alongside for the speedup column,
+* ``evaluate_batch_s`` — batched evaluation of all four heuristics'
+  solutions across the same matrix,
+* ``figures_sweep_s`` — ``fig6_data`` (20 three-failure cases,
+  heuristics only) through the parallel-sweep figures knob.
 """
 
 from __future__ import annotations
@@ -114,6 +121,78 @@ def test_pm_hot_loop_n40(waxman40_context, capsys):
         print()
         print("=== PM hot loop on n=40 Waxman ===")
         print(render_table(("stage", "offline switches", "pairs", "best (ms)"), rows))
+
+
+def test_vectorized_kernels(context, capsys):
+    """Array kernels vs the dict reference over the ATT failure matrix."""
+    from repro.baselines.nearest import solve_nearest
+    from repro.baselines.pg import solve_pg
+    from repro.baselines.retroflow import solve_retroflow
+    from repro.control.failures import enumerate_failure_scenarios
+    from repro.fmssm.evaluation import evaluate_batch, evaluate_solution
+    from repro.perf.kernels import prepare_instance
+
+    instances = [
+        context.instance(scenario)
+        for n in (1, 2, 3)
+        for scenario in enumerate_failure_scenarios(context.plane, n)
+    ]
+    for instance in instances:
+        prepare_instance(instance)
+
+    rows = []
+    for stage, solver in (("pm_kernel_s", solve_pm), ("pg_kernel_s", solve_pg)):
+        array_s, _ = _best_of(3, lambda: [solver(i, kernel="array") for i in instances])
+        dict_s, _ = _best_of(3, lambda: [solver(i, kernel="dict") for i in instances])
+        record_stage(stage, array_s)
+        assert array_s < dict_s
+        rows.append(
+            (stage, f"{1000 * array_s:.2f}", f"{1000 * dict_s:.2f}", f"{dict_s / array_s:.2f}x")
+        )
+
+    solved = [
+        (instance, [s(instance) for s in (solve_pm, solve_retroflow, solve_pg, solve_nearest)])
+        for instance in instances
+    ]
+    batch_s, _ = _best_of(
+        3, lambda: [evaluate_batch(instance, solutions) for instance, solutions in solved]
+    )
+    single_s, _ = _best_of(
+        3,
+        lambda: [
+            evaluate_solution(instance, solution)
+            for instance, solutions in solved
+            for solution in solutions
+        ],
+    )
+    record_stage("evaluate_batch_s", batch_s)
+    rows.append(
+        ("evaluate_batch_s", f"{1000 * batch_s:.2f}", f"{1000 * single_s:.2f}", f"{single_s / batch_s:.2f}x")
+    )
+    with capsys.disabled():
+        print()
+        print("=== Vectorized kernels on the ATT 1+2+3-failure matrix (41 instances) ===")
+        print(render_table(("stage", "array (ms)", "dict (ms)", "speedup"), rows))
+
+
+def test_figures_parallel_sweep(context, capsys):
+    """Fig. 6 data (heuristics only) through the parallel-sweep knob."""
+    from repro.experiments.figures import fig6_data
+
+    start = time.perf_counter()
+    data = fig6_data(context, algorithms=FAST_ALGORITHMS)
+    elapsed = time.perf_counter() - start
+    record_stage("figures_sweep_s", elapsed)
+    assert len(data["cases"]) == 20
+    assert all(
+        case["algorithms"][name]["feasible"] is not None
+        for case in data["cases"]
+        for name in FAST_ALGORITHMS
+    )
+    with capsys.disabled():
+        print()
+        print("=== fig6_data via parallel sweep (20 cases x 4 heuristics) ===")
+        print(render_table(("stage", "wall (s)"), [("figures_sweep_s", f"{elapsed:.3f}")]))
 
 
 def _best_of(n, thunk):

@@ -59,6 +59,7 @@ from repro.fmssm import (
     RecoverySolution,
     build_fmssm_model,
     build_instance,
+    evaluate_batch,
     evaluate_solution,
     solve_optimal,
     solve_two_stage,
@@ -136,6 +137,7 @@ __all__ = [
     "RecoverySolution",
     "RecoveryEvaluation",
     "evaluate_solution",
+    "evaluate_batch",
     "verify_solution",
     "solve_optimal",
     "solve_two_stage",

@@ -20,8 +20,19 @@ from repro.types import ControllerId, NodeId
 __all__ = ["solve_nearest"]
 
 
-def solve_nearest(instance: FMSSMInstance) -> RecoverySolution:
-    """Map each offline switch to its nearest controller if it fits whole."""
+def solve_nearest(instance: FMSSMInstance, kernel: str | None = None) -> RecoverySolution:
+    """Map each offline switch to its nearest controller if it fits whole.
+
+    ``kernel`` selects the implementation: ``"array"`` (the default,
+    :func:`repro.perf.kernels.solve_nearest_array`) or ``"dict"`` — the
+    body below, kept as the equivalence reference.
+    """
+    from repro.perf.kernels import resolve_kernel
+
+    if resolve_kernel(kernel) == "array":
+        from repro.perf.kernels import solve_nearest_array
+
+        return solve_nearest_array(instance)
     start = time.perf_counter()
     available: dict[ControllerId, int] = dict(instance.spare)
     mapping: dict[NodeId, ControllerId] = {}

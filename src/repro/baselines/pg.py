@@ -71,8 +71,20 @@ def _pairs_for_level(
     return plan
 
 
-def solve_pg(instance: FMSSMInstance) -> RecoverySolution:
-    """Run the PG flow-level recovery (see module docstring)."""
+def solve_pg(instance: FMSSMInstance, kernel: str | None = None) -> RecoverySolution:
+    """Run the PG flow-level recovery (see module docstring).
+
+    ``kernel`` selects the implementation: ``"array"`` (the default,
+    :func:`repro.perf.kernels.solve_pg_array`) or ``"dict"`` — the body
+    below, kept as the equivalence reference.  Both produce bit-identical
+    solutions (``tests/test_perf_kernels.py``).
+    """
+    from repro.perf.kernels import resolve_kernel
+
+    if resolve_kernel(kernel) == "array":
+        from repro.perf.kernels import solve_pg_array
+
+        return solve_pg_array(instance)
     start = time.perf_counter()
     budget = instance.total_spare
     recoverable = list(instance.recoverable_flows)
@@ -123,21 +135,24 @@ def solve_pg(instance: FMSSMInstance) -> RecoverySolution:
 
     # Assign each pair to the nearest controller with remaining capacity.
     # Pairs with the largest spread between their best and worst option
-    # are placed first (regret order) to keep total delay low.
+    # are placed first (regret order) to keep total delay low.  The
+    # per-switch regret (delay spread) and delay order are computed once
+    # per switch, not per pair per sort-key call.
     available: dict[ControllerId, int] = dict(instance.spare)
 
-    def regret(pair: tuple[NodeId, FlowId]) -> float:
-        delays = [instance.delay[(pair[0], c)] for c in instance.controllers]
-        return max(delays) - min(delays)
-
-    pair_controller: dict[tuple[NodeId, FlowId], ControllerId] = {}
-    for pair in sorted(chosen, key=lambda p: (-regret(p), p)):
-        switch = pair[0]
-        ordered = sorted(
+    regret: dict[NodeId, float] = {}
+    by_delay: dict[NodeId, list[ControllerId]] = {}
+    for switch in {pair[0] for pair in chosen}:
+        delays = [instance.delay[(switch, c)] for c in instance.controllers]
+        regret[switch] = max(delays) - min(delays)
+        by_delay[switch] = sorted(
             instance.controllers,
             key=lambda c: (instance.delay[(switch, c)], c),
         )
-        for controller in ordered:
+
+    pair_controller: dict[tuple[NodeId, FlowId], ControllerId] = {}
+    for pair in sorted(chosen, key=lambda p: (-regret[p[0]], p)):
+        for controller in by_delay[pair[0]]:
             if available[controller] > 0:
                 available[controller] -= 1
                 pair_controller[pair] = controller

@@ -48,7 +48,9 @@ def _sdn_pairs_for(
     }
 
 
-def solve_retroflow(instance: FMSSMInstance) -> RecoverySolution:
+def solve_retroflow(
+    instance: FMSSMInstance, kernel: str | None = None
+) -> RecoverySolution:
     """Greedy switch-level recovery.
 
     Switches are processed in decreasing recovery value (total ``p̄`` of
@@ -56,7 +58,17 @@ def solve_retroflow(instance: FMSSMInstance) -> RecoverySolution:
     nearest active controller with at least ``gamma_i`` spare resource.
     A switch no controller can absorb stays in legacy mode and all of its
     flows remain unprogrammable there.
+
+    ``kernel`` selects the implementation: ``"array"`` (the default,
+    :func:`repro.perf.kernels.solve_retroflow_array`) or ``"dict"`` —
+    the body below, kept as the equivalence reference.
     """
+    from repro.perf.kernels import resolve_kernel
+
+    if resolve_kernel(kernel) == "array":
+        from repro.perf.kernels import solve_retroflow_array
+
+        return solve_retroflow_array(instance)
     start = time.perf_counter()
     available: dict[ControllerId, int] = dict(instance.spare)
     mapping: dict[NodeId, ControllerId] = {}

@@ -13,7 +13,7 @@ from repro.baselines import get_algorithm
 from repro.control.failures import FailureScenario
 from repro.experiments.scenarios import ExperimentContext, default_att_context
 from repro.fmssm.build import build_instance
-from repro.fmssm.evaluation import evaluate_solution
+from repro.fmssm.evaluation import evaluate_batch, evaluate_solution
 from repro.fmssm.instance import FMSSMInstance
 from repro.fmssm.optimal import solve_optimal
 from repro.pm.algorithm import solve_pm
@@ -91,8 +91,8 @@ def counter_strategy_comparison(
     for strategy in strategies:
         context = default_att_context(counter_strategy=strategy)
         instance = context.instance(FailureScenario(frozenset(failed)))
-        for name in algorithms:
-            evaluation = evaluate_solution(instance, get_algorithm(name)(instance))
+        solutions = [get_algorithm(name)(instance) for name in algorithms]
+        for name, evaluation in zip(algorithms, evaluate_batch(instance, solutions)):
             rows.append(
                 {
                     "strategy": strategy,
@@ -121,9 +121,10 @@ def phase2_ablation(
         ("pm (greedy order)", lambda: solve_pm(instance, phase2_order="greedy")),
         ("pm (no phase 2)", lambda: _pm_without_phase2(instance)),
     ]
+    labels = [label for label, _ in variants]
+    solutions = [run() for _, run in variants]
     rows = []
-    for label, run in variants:
-        evaluation = evaluate_solution(instance, run())
+    for label, evaluation in zip(labels, evaluate_batch(instance, solutions)):
         rows.append(
             {
                 "variant": label,
@@ -154,11 +155,10 @@ def delay_constraint_ablation(
 ) -> list[dict[str, Any]]:
     """PM vs PM-strict (honoring Eq. 14) on programmability and overhead."""
     instance = context.instance(FailureScenario(frozenset(failed)))
+    cases = (("pm", False), ("pm-strict", True))
+    solutions = [solve_pm(instance, enforce_delay=enforce) for _, enforce in cases]
     rows = []
-    for label, enforce in (("pm", False), ("pm-strict", True)):
-        evaluation = evaluate_solution(
-            instance, solve_pm(instance, enforce_delay=enforce)
-        )
+    for (label, _), evaluation in zip(cases, evaluate_batch(instance, solutions)):
         rows.append(
             {
                 "variant": label,
@@ -185,8 +185,8 @@ def capacity_sweep(
     for capacity in capacities:
         context = default_att_context(capacity=capacity)
         instance = context.instance(FailureScenario(frozenset(failed)))
-        for name in algorithms:
-            evaluation = evaluate_solution(instance, get_algorithm(name)(instance))
+        solutions = [get_algorithm(name)(instance) for name in algorithms]
+        for name, evaluation in zip(algorithms, evaluate_batch(instance, solutions)):
             rows.append(
                 {
                     "capacity": capacity,

@@ -25,6 +25,7 @@ from repro.experiments.runner import (
     PAPER_ALGORITHMS,
     ScenarioResult,
     run_failure_sweep,
+    run_failure_sweep_parallel,
 )
 from repro.experiments.scenarios import ExperimentContext
 from repro.metrics.fairness import jain_fairness_index
@@ -74,16 +75,31 @@ def failure_figure_data(
     algorithms: Sequence[str] = PAPER_ALGORITHMS,
     optimal_time_limit_s: float = 300.0,
     results: Sequence[ScenarioResult] | None = None,
+    parallel: bool = True,
+    max_workers: int | None = None,
 ) -> dict[str, Any]:
     """All per-case series for an ``n_failures``-failure figure.
 
     Pass precomputed ``results`` (e.g. shared across figures by the
-    benchmark harness) to skip re-running the sweep.
+    benchmark harness) to skip re-running the sweep.  Fresh sweeps fan
+    out over a process pool by default (results are bit-identical to
+    the serial runner; small heuristic-only sweeps stay serial via the
+    pool's ``min_parallel_tasks`` heuristic) — set ``parallel=False``
+    to force the in-process serial sweep.
     """
     if results is None:
-        results = run_failure_sweep(
-            context, n_failures, algorithms, optimal_time_limit_s
-        )
+        if parallel:
+            results = run_failure_sweep_parallel(
+                context,
+                n_failures,
+                algorithms,
+                optimal_time_limit_s,
+                max_workers=max_workers,
+            )
+        else:
+            results = run_failure_sweep(
+                context, n_failures, algorithms, optimal_time_limit_s
+            )
     return {
         "n_failures": n_failures,
         "algorithms": list(algorithms),
@@ -113,6 +129,8 @@ def fig7_data(
     context: ExperimentContext,
     optimal_time_limit_s: float = 300.0,
     results_by_n: dict[int, Sequence[ScenarioResult]] | None = None,
+    parallel: bool = True,
+    max_workers: int | None = None,
 ) -> dict[str, Any]:
     """Fig. 7 — PM computation time as a percentage of Optimal's.
 
@@ -120,12 +138,21 @@ def fig7_data(
     reports per-scenario and mean percentages (cases where Optimal has
     no result are excluded from the mean, as in the paper).  Pass
     ``results_by_n`` (from sweeps that already include both algorithms)
-    to reuse existing solves.
+    to reuse existing solves.  Fresh sweeps use the process pool unless
+    ``parallel=False`` (identical results either way).
     """
     out: dict[str, Any] = {"scenarios": {}, "mean_pct": {}}
     for n_failures in (1, 2, 3):
         if results_by_n is not None and n_failures in results_by_n:
             results = results_by_n[n_failures]
+        elif parallel:
+            results = run_failure_sweep_parallel(
+                context,
+                n_failures,
+                ("optimal", "pm"),
+                optimal_time_limit_s,
+                max_workers=max_workers,
+            )
         else:
             results = run_failure_sweep(
                 context, n_failures, ("optimal", "pm"), optimal_time_limit_s

@@ -41,13 +41,38 @@ def run_successive(
     context: ExperimentContext,
     order: Sequence[ControllerId],
     algorithm: str = "pm",
+    parallel: bool = True,
+    max_workers: int | None = None,
 ) -> list[SuccessiveStage]:
-    """Fail controllers in ``order`` and re-solve after each failure."""
+    """Fail controllers in ``order`` and re-solve after each failure.
+
+    Each stage is an independent re-solve on its cumulative failure
+    set, so the stages route through the process-pool sweep like any
+    other scenario list (results come back in stage order, bit-identical
+    to the serial loop; short heuristic-only chains stay in-process via
+    the pool's ``min_parallel_tasks`` heuristic).  ``parallel=False``
+    forces the serial loop.
+    """
+    scenarios = list(successive_scenarios(tuple(order)))
+    if parallel:
+        from repro.perf.sweep import parallel_sweep
+
+        results = parallel_sweep(
+            context,
+            scenarios,
+            (algorithm,),
+            max_workers=max_workers,
+        )
+        evaluations = [result.evaluations[algorithm] for result in results]
+    else:
+        solver = get_algorithm(algorithm)
+        evaluations = []
+        for scenario in scenarios:
+            instance = context.instance(scenario)
+            evaluations.append(evaluate_solution(instance, solver(instance)))
     stages: list[SuccessiveStage] = []
-    solver = get_algorithm(algorithm)
-    for scenario in successive_scenarios(tuple(order)):
+    for scenario, evaluation in zip(scenarios, evaluations):
         instance = context.instance(scenario)
-        evaluation = evaluate_solution(instance, solver(instance))
         stages.append(
             SuccessiveStage(
                 failed=tuple(sorted(scenario.failed)),

@@ -1,7 +1,12 @@
 """FMSSM problem: instance data, IP formulation, evaluation, Optimal solver."""
 
 from repro.fmssm.build import build_instance, default_lambda
-from repro.fmssm.evaluation import RecoveryEvaluation, evaluate_solution, verify_solution
+from repro.fmssm.evaluation import (
+    RecoveryEvaluation,
+    evaluate_batch,
+    evaluate_solution,
+    verify_solution,
+)
 from repro.fmssm.formulation import FMSSMVariables, build_fmssm_model
 from repro.fmssm.instance import FMSSMInstance
 from repro.fmssm.optimal import extract_solution, solve_optimal
@@ -17,6 +22,7 @@ __all__ = [
     "RecoverySolution",
     "RecoveryEvaluation",
     "evaluate_solution",
+    "evaluate_batch",
     "verify_solution",
     "solve_optimal",
     "solve_two_stage",

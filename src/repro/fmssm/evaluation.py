@@ -4,18 +4,36 @@ Every algorithm's output is pushed through the same evaluator so the
 reported metrics (least/total programmability, recovery percentages,
 per-flow communication overhead) are computed identically — exactly the
 quantities plotted in Figs. 4–6 of the paper.
+
+Both the verifier and the evaluator run on the instance's cached
+:class:`~repro.perf.kernels.InstanceArrays` view: the served pairs are
+resolved to dense pair indices once (``_active_view``) and every
+aggregate — per-flow programmability, per-controller load, total delay —
+is one ``bincount``/gather instead of a per-pair dict walk.  The one
+deliberately sequential piece is the delay total, accumulated via
+``cumsum`` so its float rounding history matches the historical
+left-to-right Python sum bit for bit.  :func:`evaluate_batch` amortizes
+the per-instance setup across many solutions of the same scenario (the
+sweep's shape: four algorithms per instance).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.exceptions import SolutionError
 from repro.fmssm.instance import FMSSMInstance
 from repro.fmssm.solution import RecoverySolution
 from repro.types import ControllerId, FlowId, Milliseconds, NodeId
 
-__all__ = ["RecoveryEvaluation", "evaluate_solution", "verify_solution"]
+__all__ = [
+    "RecoveryEvaluation",
+    "evaluate_solution",
+    "evaluate_batch",
+    "verify_solution",
+]
 
 _DELAY_TOL = 1e-6
 
@@ -88,6 +106,95 @@ class RecoveryEvaluation:
     _recoverable_set: frozenset[FlowId] = frozenset()
 
 
+def _recoverable_set(instance: FMSSMInstance) -> frozenset[FlowId]:
+    """The instance's recoverable flows as a cached frozenset."""
+    cached = instance.__dict__.get("_recoverable_set")
+    if cached is None:
+        cached = frozenset(instance.recoverable_flows)
+        instance.__dict__["_recoverable_set"] = cached
+    return cached
+
+
+#: Resolved served pairs of one solution: ``(arrays, served, ctrl)``
+#: where ``served`` holds ascending pair indices of SDN pairs actually
+#: served by a controller and ``ctrl`` their controller positions.
+_ActiveView = tuple  # (InstanceArrays, np.ndarray, np.ndarray)
+
+
+def _active_view(instance: FMSSMInstance, solution: RecoverySolution) -> _ActiveView:
+    """Resolve ``solution.active_pairs()`` to dense index arrays.
+
+    ``served`` ascends, so downstream delay accumulation walks pairs in
+    the same sorted order ``active_pairs()`` yields.  Mirrors its
+    semantics exactly: a pair is served iff it has a per-pair controller
+    or its switch is mapped, and per-pair assignments win.
+    """
+    from repro.perf.kernels import instance_arrays
+
+    arrays = instance_arrays(instance)
+    empty = np.empty(0, dtype=np.int64)
+    if not solution.feasible or not solution.sdn_pairs:
+        return arrays, empty, empty
+
+    pair_index = arrays.pair_index
+    sdn_pairs = solution.sdn_pairs
+    served = np.fromiter(
+        (pair_index.get(pair, -1) for pair in sdn_pairs),
+        dtype=np.int64,
+        count=len(sdn_pairs),
+    )
+    if served.min() < 0:
+        # Non-programmable SDN pairs: an error only when served (the
+        # historical dict walk indexed instance.pbar on active pairs).
+        for pair in sdn_pairs:
+            if pair not in pair_index and (
+                pair in solution.pair_controller or pair[0] in solution.mapping
+            ):
+                raise KeyError(pair)
+        served = served[served >= 0]
+    served.sort()
+
+    ctrl_of = np.full(len(arrays.switches), -1, dtype=np.int64)
+    switch_pos = arrays.switch_pos
+    controller_pos = arrays.controller_pos
+    for switch, controller in solution.mapping.items():
+        pos = switch_pos.get(switch)
+        if pos is None:
+            continue  # no programmable pair can reference this switch
+        # -2 marks "mapped to an unknown controller": an error only if a
+        # served pair actually lands on it (resolved below).
+        ctrl_of[pos] = controller_pos.get(controller, -2)
+    ctrl = ctrl_of[arrays.pair_switch[served]]
+
+    overrides = solution.pair_controller
+    if overrides:
+        keys = np.fromiter(
+            (pair_index.get(pair, -1) for pair in overrides),
+            dtype=np.int64,
+            count=len(overrides),
+        )
+        values = np.fromiter(
+            (controller_pos.get(c, -2) for c in overrides.values()),
+            dtype=np.int64,
+            count=len(overrides),
+        )
+        keep = keys >= 0
+        keys, values = keys[keep], values[keep]
+        locs = np.searchsorted(served, keys)
+        hit = locs < served.size
+        hit[hit] = served[locs[hit]] == keys[hit]
+        ctrl[locs[hit]] = values[hit]
+
+    if served.size and ctrl.min() == -2:
+        for switch, flow_id in solution.active_pairs():
+            controller = solution.controller_for_pair(switch, flow_id)
+            if controller not in controller_pos:
+                raise KeyError(controller)
+
+    mask = ctrl >= 0
+    return arrays, served[mask], ctrl[mask]
+
+
 def verify_solution(
     instance: FMSSMInstance,
     solution: RecoverySolution,
@@ -101,10 +208,24 @@ def verify_solution(
     capacity (Eq. 12); total delay within G (Eq. 14, optional since
     flow-level baselines are allowed to trade it off).
     """
+    _verified_view(instance, solution, enforce_delay)
+
+
+def _verified_view(
+    instance: FMSSMInstance,
+    solution: RecoverySolution,
+    enforce_delay: bool,
+) -> _ActiveView | None:
+    """Body of :func:`verify_solution`, returning the resolved view.
+
+    The membership checks stay plain dict/set loops (they must name the
+    offending entity); the load and delay totals run on the view, which
+    the caller (:func:`evaluate_solution`) then reuses.
+    """
     if not solution.feasible:
         if solution.mapping or solution.sdn_pairs:
             raise SolutionError("infeasible solutions must be empty")
-        return
+        return None
     controller_set = set(instance.controllers)
     switch_set = set(instance.switches)
     for switch, controller in solution.mapping.items():
@@ -123,28 +244,45 @@ def verify_solution(
                 f"pair {pair!r} served by non-active controller {controller!r}"
             )
 
+    view = _active_view(instance, solution)
+    arrays, served, ctrl = view
     if solution.load_override is not None:
         load = {c: solution.load_override.get(c, 0) for c in instance.controllers}
+        for controller, used in load.items():
+            if used > instance.spare[controller]:
+                raise SolutionError(
+                    f"controller {controller!r} load {used} exceeds spare "
+                    f"{instance.spare[controller]}"
+                )
     else:
-        load = {c: 0 for c in instance.controllers}
-        for switch, flow_id in solution.active_pairs():
-            load[solution.controller_for_pair(switch, flow_id)] += 1
-    for controller, used in load.items():
-        if used > instance.spare[controller]:
+        counts = np.bincount(ctrl, minlength=len(arrays.controllers))
+        if np.any(counts > arrays.spare):
+            position = int(np.flatnonzero(counts > arrays.spare)[0])
+            controller = arrays.controllers[position]
             raise SolutionError(
-                f"controller {controller!r} load {used} exceeds spare "
-                f"{instance.spare[controller]}"
+                f"controller {controller!r} load {int(counts[position])} exceeds "
+                f"spare {instance.spare[controller]}"
             )
 
     if enforce_delay:
-        total = sum(
-            instance.delay[(switch, solution.controller_for_pair(switch, flow_id))]
-            for switch, flow_id in solution.active_pairs()
-        )
+        total = _total_delay(arrays, served, ctrl)
         if total > instance.ideal_delay_ms * (1 + _DELAY_TOL) + _DELAY_TOL:
             raise SolutionError(
                 f"total delay {total:.3f}ms exceeds G={instance.ideal_delay_ms:.3f}ms"
             )
+    return view
+
+
+def _total_delay(arrays, served: np.ndarray, ctrl: np.ndarray) -> float:
+    """Delay total of the served pairs, summed left-to-right.
+
+    ``cumsum`` adds strictly in index order, so the result is
+    bit-identical to the historical sequential Python accumulation over
+    sorted active pairs (``np.sum`` is not — it pairs terms).
+    """
+    if not served.size:
+        return 0.0
+    return float(arrays.delay[arrays.pair_switch[served], ctrl].cumsum()[-1])
 
 
 def evaluate_solution(
@@ -155,31 +293,77 @@ def evaluate_solution(
 ) -> RecoveryEvaluation:
     """Compute all paper metrics for ``solution`` on ``instance``."""
     if verify:
-        verify_solution(instance, solution, enforce_delay=enforce_delay)
+        view = _verified_view(instance, solution, enforce_delay)
+    else:
+        view = None
+    return _evaluate(instance, solution, view)
 
-    recoverable = frozenset(instance.recoverable_flows)
-    programmability: dict[FlowId, int] = {f: 0 for f in instance.flows}
-    load: dict[ControllerId, int] = {c: 0 for c in instance.controllers}
-    total_delay = 0.0
-    active_pairs = solution.active_pairs() if solution.feasible else ()
-    for switch, flow_id in active_pairs:
-        controller = solution.controller_for_pair(switch, flow_id)
-        programmability[flow_id] += instance.pbar[(switch, flow_id)]
-        load[controller] += 1
-        total_delay += instance.delay[(switch, controller)]
+
+def evaluate_batch(
+    instance: FMSSMInstance,
+    solutions: "list[RecoverySolution] | tuple[RecoverySolution, ...]",
+    verify: bool = True,
+    enforce_delay: bool = False,
+) -> list[RecoveryEvaluation]:
+    """Evaluate many solutions of the *same* instance.
+
+    Semantically ``[evaluate_solution(instance, s, ...) for s in
+    solutions]`` (asserted by the equivalence tests), but the
+    per-instance setup — the array view, the recoverable frozenset —
+    is shared across the batch.  This is the sweep's shape: every
+    scenario evaluates all algorithms against one instance.
+    """
+    out = []
+    for solution in solutions:
+        view = _verified_view(instance, solution, enforce_delay) if verify else None
+        out.append(_evaluate(instance, solution, view))
+    return out
+
+
+def _evaluate(
+    instance: FMSSMInstance,
+    solution: RecoverySolution,
+    view: _ActiveView | None,
+) -> RecoveryEvaluation:
+    """Metric extraction over a resolved active view (array reductions)."""
+    if view is None:
+        view = _active_view(instance, solution)
+    arrays, served, ctrl = view
+    recoverable = _recoverable_set(instance)
+    n_flows = len(arrays.flow_ids)
+    n_controllers = len(arrays.controllers)
+
+    if served.size:
+        switch_codes = arrays.pair_switch[served]
+        pro = np.bincount(
+            arrays.pair_flow[served],
+            weights=arrays.pair_pbar[served],
+            minlength=n_flows,
+        ).astype(np.int64)
+        load_vec = np.bincount(ctrl, minlength=n_controllers)
+        total_delay = _total_delay(arrays, served, ctrl)
+        recovered = int((pro > 0).sum())
+        recovered_switches = int(np.unique(switch_codes).size)
+    else:
+        pro = np.zeros(n_flows, dtype=np.int64)
+        load_vec = np.zeros(n_controllers, dtype=np.int64)
+        total_delay = 0.0
+        recovered = 0
+        recovered_switches = 0
+
+    programmability = dict(zip(arrays.flow_ids, pro.tolist()))
     if solution.load_override is not None:
         load = {c: solution.load_override.get(c, 0) for c in instance.controllers}
+    else:
+        load = dict(zip(arrays.controllers, load_vec.tolist()))
 
-    recovered = [f for f, pro in programmability.items() if pro > 0]
-    least = (
-        min(programmability[f] for f in recoverable) if recoverable and solution.feasible else 0
-    )
-    if not solution.feasible:
-        least = 0
-    total_pro = sum(programmability.values())
+    least = 0
+    if recoverable and solution.feasible:
+        least = int(pro[arrays.recoverable_pos].min())
+    total_pro = int(pro.sum())
     per_flow = 0.0
     if recovered:
-        per_flow = total_delay / len(recovered) + solution.extra_overhead_ms
+        per_flow = total_delay / recovered + solution.extra_overhead_ms
 
     evaluation = RecoveryEvaluation(
         algorithm=solution.algorithm,
@@ -187,10 +371,10 @@ def evaluate_solution(
         programmability=programmability,
         least_programmability=least,
         total_programmability=total_pro,
-        recovered_flows=len(recovered),
+        recovered_flows=recovered,
         recoverable_flows=len(recoverable),
         offline_flows=instance.n_flows,
-        recovered_switches=len(solution.recovered_switches()) if solution.feasible else 0,
+        recovered_switches=recovered_switches if solution.feasible else 0,
         offline_switches=instance.n_switches,
         controller_load=load,
         total_delay_ms=total_delay,

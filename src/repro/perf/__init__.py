@@ -27,6 +27,12 @@ that cheap:
 :mod:`repro.perf.incremental`
     Cross-scenario delta chaining: minimum-Hamming-distance scenario
     ordering and neighbor-solution repair for warm-started exact solves.
+
+:mod:`repro.perf.kernels`
+    NumPy-vectorized kernels for the four non-exact algorithms (PM, PG,
+    RetroFlow, Nearest) over the :class:`~repro.perf.kernels.
+    InstanceArrays` view — the default ``kernel="array"`` route, bit-
+    identical to the dict-route reference implementations.
 """
 
 from repro.perf.coefficients import CoefficientArrays, CoefficientTable
@@ -37,6 +43,17 @@ from repro.perf.compile import (
     default_compiler,
 )
 from repro.perf.incremental import chain_segments, hamming_chain, repair_solution
+from repro.perf.kernels import (
+    DEFAULT_KERNEL,
+    InstanceArrays,
+    instance_arrays,
+    prepare_instance,
+    resolve_kernel,
+    solve_nearest_array,
+    solve_pg_array,
+    solve_pm_array,
+    solve_retroflow_array,
+)
 from repro.perf.shm import (
     FanoutStats,
     SegmentLease,
@@ -51,6 +68,15 @@ from repro.perf.sweep import ShmPlanData, SweepPlan, fanout_summary, parallel_sw
 __all__ = [
     "CoefficientTable",
     "CoefficientArrays",
+    "DEFAULT_KERNEL",
+    "InstanceArrays",
+    "instance_arrays",
+    "prepare_instance",
+    "resolve_kernel",
+    "solve_pm_array",
+    "solve_pg_array",
+    "solve_retroflow_array",
+    "solve_nearest_array",
     "SweepPlan",
     "ShmPlanData",
     "parallel_sweep",

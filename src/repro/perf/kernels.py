@@ -1,0 +1,712 @@
+"""NumPy-vectorized kernels for the four non-exact recovery algorithms.
+
+The dict-route implementations (``repro.pm.algorithm``,
+``repro.baselines.*``) read the :class:`~repro.fmssm.instance.
+FMSSMInstance` through per-pair dict lookups and per-pick ``sorted()``
+calls — the right shape for auditing against the paper's pseudo-code,
+but 10–30× slower than the arithmetic they perform.  This module holds
+the production kernels: every hot loop is re-expressed over dense
+position-indexed arrays (:class:`InstanceArrays`) so the per-solve cost
+is a handful of numpy reductions plus short Python loops over switches,
+not pairs.
+
+Equivalence contract
+--------------------
+Each kernel is **bit-identical** to its dict-route twin — same
+``mapping``, ``sdn_pairs``, ``pair_controller`` and per-flow
+programmability on every instance, enforced by
+``tests/test_perf_kernels.py``.  The tie-breaking rules that make this
+hold (see DESIGN §10):
+
+* ``instance.switches`` / ``instance.controllers`` /
+  ``instance.recoverable_flows`` are sorted, and ``instance.pairs`` is
+  lexicographically sorted — so *position* order equals *id* order, and
+  a first-occurrence ``argmax``/``argmin`` over positions reproduces
+  ``max()``/``min()`` with an id tie-break exactly;
+* every descending sort uses ``np.argsort(-key, kind="stable")``, which
+  preserves ascending position order among ties — the same order the
+  dict routes' ``(-key, id)`` tuple sorts produce;
+* ``delay_order`` rows are stable argsorts of the delay matrix, i.e.
+  the ``(delay, controller_id)`` ascending order every dict route sorts
+  controllers by;
+* float accumulations that feed a comparison (the strict-PM delay
+  budget) stay sequential Python loops so the rounding history matches
+  the dict route addition for addition.
+
+The dict routes are kept (``kernel="dict"``) as the cross-validation
+reference; the solver entry points default to the array route.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.fmssm.instance import FMSSMInstance
+from repro.fmssm.solution import RecoverySolution
+from repro.pm.algorithm import grouped_capacity_select
+from repro.types import FLOWVISOR_PROCESSING_MS, ControllerId, FlowId, NodeId
+
+__all__ = [
+    "DEFAULT_KERNEL",
+    "InstanceArrays",
+    "instance_arrays",
+    "prepare_instance",
+    "resolve_kernel",
+    "solve_pm_array",
+    "solve_pg_array",
+    "solve_retroflow_array",
+    "solve_nearest_array",
+]
+
+#: Kernel used when a solver's ``kernel=`` argument is left ``None``.
+#: The dict route stays available as the equivalence reference.
+DEFAULT_KERNEL = "array"
+
+_KERNELS = ("array", "dict")
+
+
+def resolve_kernel(kernel: str | None) -> str:
+    """Validate a ``kernel=`` argument, defaulting to :data:`DEFAULT_KERNEL`."""
+    if kernel is None:
+        return DEFAULT_KERNEL
+    if kernel not in _KERNELS:
+        raise ValueError(f"kernel must be one of {_KERNELS}: {kernel!r}")
+    return kernel
+
+
+@dataclass
+class InstanceArrays:
+    """Dense, position-indexed view of one :class:`FMSSMInstance`.
+
+    Conceptually this is the per-scenario slice of the sweep-wide
+    :class:`~repro.perf.coefficients.CoefficientArrays`: the ``pbar``
+    column restricted to the scenario's offline pairs, joined with the
+    scenario's delay matrix and spare-capacity vector.  It is built once
+    per instance by :func:`instance_arrays` and cached on the instance,
+    so all four kernels *and* the batched evaluator share one build.
+
+    Positions: switches ``0..N-1`` in ``instance.switches`` order,
+    controllers ``0..M-1`` in ``instance.controllers`` order, flows
+    ``0..L-1`` in ``instance.flows`` insertion order, pairs ``0..P-1``
+    in ``instance.pairs`` (lexicographic) order.  All of the first two
+    and the pair order are sorted by id, which is what makes
+    first-occurrence argmax/argmin tie-breaking equal id tie-breaking.
+    """
+
+    #: Public id tuples (references into the instance).
+    switches: tuple[NodeId, ...]
+    controllers: tuple[ControllerId, ...]
+    flow_ids: tuple[FlowId, ...]
+    #: Position lookups (switch_pos/pair_index shared with PairArrays).
+    switch_pos: dict[NodeId, int]
+    controller_pos: dict[ControllerId, int]
+    flow_pos: dict[FlowId, int]
+    pair_index: dict[tuple[NodeId, FlowId], int]
+    #: Spare capacity A_j per controller position (int64[M]).
+    spare: np.ndarray
+    #: gamma_i per switch position (int64[N]).
+    gamma: np.ndarray
+    #: Delay matrix D_ij (float64[N, M]).
+    delay: np.ndarray
+    #: Per-switch controller positions in (delay, id) ascending order
+    #: (int64[N, M]); column 0 is the nearest controller.
+    delay_order: np.ndarray
+    #: Per-pair switch / flow positions and p̄ (int64[P] each).
+    pair_switch: np.ndarray
+    pair_flow: np.ndarray
+    pair_pbar: np.ndarray
+    #: CSR over pairs grouped by switch: pairs of switch position ``s``
+    #: are ``switch_indptr[s]:switch_indptr[s+1]`` (pairs are
+    #: switch-major because ``instance.pairs`` sorts lexicographically).
+    switch_indptr: np.ndarray
+    #: Pair indices grouped by flow position, within each flow in
+    #: (-p̄, switch) order — PG's per-flow greedy order (int64[P]).
+    flow_sorted: np.ndarray
+    flow_indptr: np.ndarray
+    #: Per-flow maximum programmability (int64[L]).
+    flow_max_pro: np.ndarray
+    #: Flow positions of ``instance.recoverable_flows`` — ascending
+    #: flow-id order, *not* necessarily ascending position (int64[R]).
+    recoverable_pos: np.ndarray
+    #: All pair indices in (-p̄, pair) order — the saturation scans'
+    #: shared ordering (int64[P]).
+    pbar_desc: np.ndarray
+    #: Lazy per-kernel extras (PG's padded prefix-sum matrix).
+    cache: dict[str, object] = field(default_factory=dict, repr=False)
+
+    @property
+    def n_pairs(self) -> int:
+        return int(self.pair_switch.size)
+
+
+def instance_arrays(instance: FMSSMInstance) -> InstanceArrays:
+    """The cached :class:`InstanceArrays` view of ``instance``.
+
+    First call builds the arrays (reusing the instance's
+    ``pair_arrays()`` columns); later calls — from other kernels, the
+    evaluator, or repeat solves on the same instance — return the same
+    object.  Mirrors the ``pair_arrays`` caching pattern: the instance
+    is immutable, so the view never goes stale.
+    """
+    cached = instance.__dict__.get("_instance_arrays")
+    if cached is None:
+        pa = instance.pair_arrays()
+        switches = instance.switches
+        controllers = instance.controllers
+        flow_ids = tuple(instance.flows)
+        n = len(switches)
+        m = len(controllers)
+        n_pairs = len(instance.pairs)
+        flow_pos = {f: i for i, f in enumerate(flow_ids)}
+        controller_pos = {c: j for j, c in enumerate(controllers)}
+
+        delay = np.fromiter(
+            (instance.delay[(s, c)] for s in switches for c in controllers),
+            dtype=np.float64,
+            count=n * m,
+        ).reshape(n, m)
+        pair_flow = np.fromiter(
+            (flow_pos[f] for _, f in instance.pairs), dtype=np.int64, count=n_pairs
+        )
+        pair_pbar = pa.pbar
+        pair_switch = pa.switch_code
+        # Flow-major pair grouping, within a flow by (-p̄, switch): the
+        # trailing np.arange key keeps ascending pair index (= ascending
+        # switch id, pairs being lexicographic) among equal p̄.
+        flow_sorted = np.lexsort((np.arange(n_pairs), -pair_pbar, pair_flow))
+        flow_indptr = np.searchsorted(
+            pair_flow[flow_sorted], np.arange(len(flow_ids) + 1)
+        )
+        flow_max_pro = (
+            np.bincount(pair_flow, weights=pair_pbar, minlength=len(flow_ids))
+            .astype(np.int64)
+            if n_pairs
+            else np.zeros(len(flow_ids), dtype=np.int64)
+        )
+        cached = InstanceArrays(
+            switches=switches,
+            controllers=controllers,
+            flow_ids=flow_ids,
+            switch_pos=pa.switch_pos,
+            controller_pos=controller_pos,
+            flow_pos=flow_pos,
+            pair_index=pa.pair_index,
+            spare=np.fromiter(
+                (instance.spare[c] for c in controllers), dtype=np.int64, count=m
+            ),
+            gamma=np.fromiter(
+                (instance.gamma[s] for s in switches), dtype=np.int64, count=n
+            ),
+            delay=delay,
+            delay_order=np.argsort(delay, axis=1, kind="stable"),
+            pair_switch=pair_switch,
+            pair_flow=pair_flow,
+            pair_pbar=pair_pbar,
+            switch_indptr=np.searchsorted(pair_switch, np.arange(n + 1)),
+            flow_sorted=flow_sorted,
+            flow_indptr=flow_indptr,
+            flow_max_pro=flow_max_pro,
+            recoverable_pos=np.fromiter(
+                (flow_pos[f] for f in instance.recoverable_flows),
+                dtype=np.int64,
+                count=len(instance.recoverable_flows),
+            ),
+            pbar_desc=np.argsort(-pair_pbar, kind="stable"),
+        )
+        instance.__dict__["_instance_arrays"] = cached
+    return cached
+
+
+def prepare_instance(instance: FMSSMInstance) -> InstanceArrays:
+    """Build the array view and the sequential-scan caches eagerly.
+
+    The view is *scenario data*, not algorithm work: sweeps and
+    ``run_scenario`` call this right after grounding an instance so the
+    one-time materialization (delay matrix, CSR indexes, list views) is
+    charged to instance preparation, shared by all four kernels and the
+    batched evaluator — instead of landing in whichever solver happens
+    to run first in a worker process.
+    """
+    arrays = instance_arrays(instance)
+    _seq_prep(arrays)
+    return arrays
+
+
+# ----------------------------------------------------------------------
+# PM — Algorithm 1 over arrays
+# ----------------------------------------------------------------------
+def _seq_prep(arrays: InstanceArrays) -> tuple:
+    """Plain-list views for the sequential scan kernels (cached).
+
+    PM's phase-1 picks (and the switch-level greedies) are inherently
+    sequential over WAN-small populations, where per-call numpy
+    dispatch costs more than the arithmetic — so their inner loops run
+    on position-indexed Python lists, materialized here once per
+    instance: per-pair switch/flow/p̄ columns, the switch CSR bounds,
+    each flow's pair-switch adjacency (for the incremental level
+    counts), the delay-ordered controller rows, the delay matrix, and
+    per-switch ``(pair, flow, p̄)`` triples for PM's candidate scan.
+    """
+    cached = arrays.cache.get("seq_lists")
+    if cached is None:
+        flow_indptr = arrays.flow_indptr.tolist()
+        switches_by_flow = arrays.pair_switch[arrays.flow_sorted].tolist()
+        ps_list = arrays.pair_switch.tolist()
+        pf_list = arrays.pair_flow.tolist()
+        pbar_list = arrays.pair_pbar.tolist()
+        indptr = arrays.switch_indptr.tolist()
+        triples = list(zip(range(arrays.n_pairs), pf_list, pbar_list))
+        cached = (
+            ps_list,
+            pf_list,
+            pbar_list,
+            indptr,
+            [
+                switches_by_flow[flow_indptr[i] : flow_indptr[i + 1]]
+                for i in range(len(arrays.flow_ids))
+            ],
+            arrays.delay_order.tolist(),
+            arrays.gamma.tolist(),
+            arrays.delay.tolist(),
+            [
+                triples[indptr[s] : indptr[s + 1]]
+                for s in range(len(arrays.switches))
+            ],
+        )
+        arrays.cache["seq_lists"] = cached
+    return cached
+
+
+def solve_pm_array(
+    instance: FMSSMInstance,
+    phase2_order: str = "paper",
+    enforce_delay: bool = False,
+) -> RecoverySolution:
+    """Array kernel for ProgrammabilityMedic (Algorithm 1).
+
+    Phase 1 keeps the pick loop (its picks are sequential by nature)
+    but swaps the dict route's hashed state for position-indexed lists
+    and replaces the per-pick level recount with an *incremental*
+    count: ``counts[s]`` tracks the pairs of switch ``s`` whose flow
+    sits at the current level ``sigma``, decremented along each
+    activated flow's pair-switch adjacency, and rebuilt by one masked
+    ``bincount`` only when ``sigma`` advances at a pass boundary (flows
+    never re-enter a level — h only grows).  Phase 2 without the delay
+    bound is the same grouped capacity selection the dict route
+    vectorizes; the strict variants stay sequential loops because the
+    cumulative delay budget is order- and rounding-history-dependent.
+    """
+    if phase2_order not in ("paper", "greedy"):
+        raise ValueError(f"phase2_order must be 'paper' or 'greedy': {phase2_order!r}")
+    start = time.perf_counter()
+    arrays = instance_arrays(instance)
+    n = len(arrays.switches)
+    m = len(arrays.controllers)
+    n_pairs = arrays.n_pairs
+    pair_switch = arrays.pair_switch
+    pair_flow = arrays.pair_flow
+    recoverable = arrays.recoverable_pos
+    (
+        ps_list,
+        _pf_list,
+        _pbar_list,
+        indptr,
+        flow_adj,
+        rows,
+        gamma,
+        delay_list,
+        sw_triples,
+    ) = _seq_prep(arrays)
+
+    h = [0] * len(arrays.flow_ids)
+    active = [False] * n_pairs
+    activated: list[int] = []
+    avail = arrays.spare.tolist()
+    ctrl_of = [-1] * n
+    untested = [True] * n
+    remaining = n
+    sigma = 0
+    test_count = 0
+    total_iterations = instance.total_iterations
+    budget = instance.ideal_delay_ms + 1e-9
+    total_delay = 0.0
+    # counts[s] — pairs of switch s whose flow sits at level sigma
+    # (including already-active pairs, like the dict route's buckets).
+    counts0 = arrays.cache.get("pm_counts0")
+    if counts0 is None:
+        counts0 = (
+            np.bincount(pair_switch, minlength=n).tolist() if n_pairs else [0] * n
+        )
+        arrays.cache["pm_counts0"] = counts0
+    counts = list(counts0)
+
+    while test_count < total_iterations:
+        # Lines 5-15: the untested switch with the most level-sigma
+        # pairs; strict > keeps the first maximum = lowest position =
+        # lowest switch id.
+        best = -1
+        best_count = 0
+        for s in range(n):
+            if untested[s]:
+                count = counts[s]
+                if count > best_count:
+                    best_count = count
+                    best = s
+        if best < 0:
+            remaining = 0
+        else:
+            s = best
+            c = ctrl_of[s]
+            if c < 0:
+                # Lines 17-28: nearest controller that fits the whole
+                # switch, else the one with the most spare resource
+                # (ties toward the lower controller id).
+                g = gamma[s]
+                for candidate in rows[s]:
+                    if avail[candidate] >= g:
+                        c = candidate
+                        break
+                else:
+                    c = max(range(m), key=lambda j: (avail[j], -j))
+                ctrl_of[s] = c
+            untested[s] = False
+            remaining -= 1
+            # Lines 31-36: flip candidate pairs at s in flow-id order.
+            # h only grows within a pass and sigma is the pass-start
+            # minimum, so h == sigma ⟺ h <= sigma here.
+            budget_left = avail[c]
+            if enforce_delay:
+                delay_sc = delay_list[s][c]
+                for k, flow, pbar in sw_triples[s]:
+                    level = h[flow]
+                    if level > sigma:
+                        continue
+                    if active[k]:
+                        continue
+                    if budget_left <= 0:
+                        break
+                    if total_delay + delay_sc > budget:
+                        continue
+                    total_delay += delay_sc
+                    budget_left -= 1
+                    h[flow] = level + pbar
+                    active[k] = True
+                    activated.append(k)
+                    # The flow leaves level sigma: every switch pairing
+                    # with it loses one level-sigma pair.
+                    for paired in flow_adj[flow]:
+                        counts[paired] -= 1
+            else:
+                for k, flow, pbar in sw_triples[s]:
+                    level = h[flow]
+                    if level > sigma:
+                        continue
+                    if active[k]:
+                        continue
+                    if budget_left <= 0:
+                        break
+                    budget_left -= 1
+                    h[flow] = level + pbar
+                    active[k] = True
+                    activated.append(k)
+                    for paired in flow_adj[flow]:
+                        counts[paired] -= 1
+            avail[c] = budget_left
+        if remaining == 0:
+            untested = [True] * n
+            remaining = n
+            test_count += 1
+            if recoverable.size:
+                h_np = np.array(h, dtype=np.int64)
+                new_sigma = int(h_np[recoverable].min())
+                if new_sigma != sigma:
+                    # Rebuild the level counts at the new water line —
+                    # the only O(P) step, once per sigma advance.
+                    sigma = new_sigma
+                    counts = np.bincount(
+                        pair_switch[h_np[pair_flow] == sigma], minlength=n
+                    ).tolist()
+
+    # Phase 2 (lines 42-50): saturate leftover capacity on mapped switches.
+    if n_pairs:
+        if enforce_delay:
+            if phase2_order == "greedy":
+                order = arrays.pbar_desc.tolist()
+            else:
+                order = range(n_pairs)
+            for k in order:
+                if active[k]:
+                    continue
+                c = ctrl_of[ps_list[k]]
+                if c < 0:
+                    continue
+                if avail[c] <= 0:
+                    continue
+                pair_delay = delay_list[ps_list[k]][c]
+                if total_delay + pair_delay > budget:
+                    continue
+                total_delay += pair_delay
+                avail[c] -= 1
+                active[k] = True
+                activated.append(k)
+        else:
+            active_np = np.array(active, dtype=bool)
+            ctrl = np.array(ctrl_of, dtype=np.int64)[pair_switch]
+            open_mask = (~active_np) & (ctrl >= 0)
+            if phase2_order == "greedy":
+                order = arrays.pbar_desc
+                scan = order[open_mask[order]]
+            else:
+                scan = np.flatnonzero(open_mask)
+            if scan.size:
+                capacity = np.array(avail, dtype=np.int64)
+                chosen = scan[grouped_capacity_select(ctrl[scan], capacity)]
+                activated.extend(chosen.tolist())
+
+    pairs = instance.pairs
+    mapping = {
+        arrays.switches[i]: arrays.controllers[c]
+        for i, c in enumerate(ctrl_of)
+        if c >= 0
+    }
+    sdn_pairs = {pairs[k] for k in activated}
+    return RecoverySolution(
+        algorithm="pm",
+        mapping=mapping,
+        sdn_pairs=sdn_pairs,
+        solve_time_s=time.perf_counter() - start,
+        feasible=True,
+        meta={
+            "phase2_order": phase2_order,
+            "total_iterations": total_iterations,
+            "kernel": "array",
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# PG — flow-level recovery over arrays
+# ----------------------------------------------------------------------
+def _pg_level_prep(arrays: InstanceArrays) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Padded per-recoverable-flow prefix sums of descending p̄.
+
+    Row ``i`` holds the running totals of recoverable flow ``i``'s pairs
+    in (-p̄, switch) order, right-padded with the final total — so the
+    fewest pairs reaching ``level`` is ``(row >= level).argmax() + 1``
+    for any reachable ``level >= 1``.  Cached on the arrays: the binary
+    search probes it O(log max_level) times.
+    """
+    cached = arrays.cache.get("pg_levels")
+    if cached is None:
+        rec = arrays.recoverable_pos
+        starts = arrays.flow_indptr[rec]
+        lens = arrays.flow_indptr[rec + 1] - starts
+        width = int(lens.max()) if lens.size else 0
+        col = np.arange(width)
+        # Clamp pad columns onto each row's last real pair; their p̄ is
+        # zeroed below so the cumsum plateaus at the flow's max_pro.
+        idx2d = starts[:, None] + np.minimum(col[None, :], (lens - 1)[:, None])
+        valid = col[None, :] < lens[:, None]
+        values = np.where(valid, arrays.pair_pbar[arrays.flow_sorted[idx2d]], 0)
+        cached = (idx2d, lens, values.cumsum(axis=1))
+        arrays.cache["pg_levels"] = cached
+    return cached
+
+
+def solve_pg_array(instance: FMSSMInstance) -> RecoverySolution:
+    """Array kernel for ProgrammabilityGuardian.
+
+    The water-level binary search runs on the padded prefix-sum matrix
+    (one ``>=`` + ``argmax`` per probe instead of per-flow ``sorted()``
+    greedy scans), the saturation pass reuses the instance-wide
+    ``pbar_desc`` order, and the regret-ordered assignment is an
+    argsort over the per-switch delay spread with an all-nearest fast
+    path — the sequential scan only runs when some nearest controller
+    would overflow.
+    """
+    start = time.perf_counter()
+    arrays = instance_arrays(instance)
+    n_pairs = arrays.n_pairs
+    budget = int(arrays.spare.sum())
+    rec = arrays.recoverable_pos
+
+    chosen = np.zeros(n_pairs, dtype=bool)
+    if budget >= rec.size and rec.size:
+        # Full recovery possible: maximize the least programmability by
+        # binary search over the water level.
+        idx2d, lens, cum = _pg_level_prep(arrays)
+        max_level = int(arrays.flow_max_pro[rec].min())
+        lo, hi = 0, max_level
+        best_counts: np.ndarray | None = None
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            # mid <= max_level <= every recoverable flow's max_pro, so
+            # each row reaches mid and argmax finds a real column.
+            counts = (cum >= mid).argmax(axis=1) + 1
+            if int(counts.sum()) <= budget:
+                lo = mid
+                best_counts = counts
+            else:
+                hi = mid - 1
+        if best_counts is not None:
+            mask = np.arange(cum.shape[1])[None, :] < best_counts[:, None]
+            chosen[arrays.flow_sorted[idx2d[mask]]] = True
+    elif rec.size:
+        # Budget below one unit per flow: recover the flows whose single
+        # best pair buys the most, ties toward the lower flow id (rec is
+        # in ascending flow-id order and the argsort is stable).
+        first_pair = arrays.flow_sorted[arrays.flow_indptr[rec]]
+        best_pbar = arrays.pair_pbar[first_pair]
+        ranked = np.argsort(-best_pbar, kind="stable")[:budget]
+        chosen[first_pair[ranked]] = True
+
+    # Saturate leftover budget with the highest-p̄ remaining pairs.
+    leftover = budget - int(chosen.sum())
+    if leftover > 0 and n_pairs:
+        desc = arrays.pbar_desc
+        remaining = desc[~chosen[desc]]
+        chosen[remaining[:leftover]] = True
+
+    # Regret-ordered nearest-capacity assignment.
+    pair_controller: dict[tuple[NodeId, FlowId], ControllerId] = {}
+    picked = np.flatnonzero(chosen)
+    if picked.size:
+        spread = arrays.delay.max(axis=1) - arrays.delay.min(axis=1)
+        # picked ascends in pair order; the stable sort keeps that order
+        # among equal spreads — the (-regret, pair) tuple key.
+        order = picked[np.argsort(-spread[arrays.pair_switch[picked]], kind="stable")]
+        nearest = arrays.delay_order[:, 0]
+        want = nearest[arrays.pair_switch[order]]
+        load = np.bincount(want, minlength=len(arrays.controllers))
+        pairs = instance.pairs
+        controllers = arrays.controllers
+        if bool(np.all(load <= arrays.spare)):
+            # Every pair fits on its nearest controller, so the greedy
+            # scan would assign exactly that — order-independently.
+            pair_controller = {
+                pairs[k]: controllers[c]
+                for k, c in zip(order.tolist(), want.tolist())
+            }
+        else:
+            available = arrays.spare.tolist()
+            rows = arrays.delay_order.tolist()
+            switch_of = arrays.pair_switch[order].tolist()
+            for k, s in zip(order.tolist(), switch_of):
+                for c in rows[s]:
+                    if available[c] > 0:
+                        available[c] -= 1
+                        pair_controller[pairs[k]] = controllers[c]
+                        break
+                else:  # pragma: no cover - chosen is capped at the budget
+                    raise AssertionError("PG budget accounting violated")
+
+    return RecoverySolution(
+        algorithm="pg",
+        mapping={},
+        sdn_pairs=set(pair_controller),
+        pair_controller=pair_controller,
+        extra_overhead_ms=FLOWVISOR_PROCESSING_MS,
+        solve_time_s=time.perf_counter() - start,
+        feasible=True,
+        meta={"budget": budget, "middle_layer": "flowvisor", "kernel": "array"},
+    )
+
+
+# ----------------------------------------------------------------------
+# RetroFlow / Nearest — switch-level greedies over arrays
+# ----------------------------------------------------------------------
+def solve_retroflow_array(instance: FMSSMInstance) -> RecoverySolution:
+    """Array kernel for the greedy RetroFlow baseline.
+
+    Switch values come from one weighted bincount, the processing order
+    from one stable argsort, and the per-switch controller scan walks a
+    precomputed ``delay_order`` row — O(N·M) Python steps total instead
+    of N sorts over M controllers.
+    """
+    start = time.perf_counter()
+    arrays = instance_arrays(instance)
+    n = len(arrays.switches)
+    _, _, _, indptr, _, rows, gamma, _, _ = _seq_prep(arrays)
+    value = (
+        np.bincount(arrays.pair_switch, weights=arrays.pair_pbar, minlength=n)
+        .astype(np.int64)
+        if arrays.n_pairs
+        else np.zeros(n, dtype=np.int64)
+    )
+    order = np.argsort(-value, kind="stable")
+
+    available = arrays.spare.tolist()
+    load = [0] * len(arrays.controllers)
+    mapped: list[tuple[int, int]] = []
+    for s in order.tolist():
+        g = gamma[s]
+        for c in rows[s]:
+            if available[c] >= g:
+                available[c] -= g
+                load[c] += g
+                mapped.append((s, c))
+                break
+
+    switches = arrays.switches
+    controllers = arrays.controllers
+    mapping = {switches[s]: controllers[c] for s, c in sorted(mapped)}
+    pairs = instance.pairs
+    sdn_pairs = {
+        pairs[k]
+        for s, _ in mapped
+        for k in range(indptr[s], indptr[s + 1])
+    }
+    return RecoverySolution(
+        algorithm="retroflow",
+        mapping=mapping,
+        sdn_pairs=sdn_pairs,
+        load_override={controllers[c]: load[c] for c in range(len(controllers))},
+        solve_time_s=time.perf_counter() - start,
+        feasible=True,
+        meta={"variant": "greedy", "kernel": "array"},
+    )
+
+
+def solve_nearest_array(instance: FMSSMInstance) -> RecoverySolution:
+    """Array kernel for nearest-controller whole-switch remapping.
+
+    The nearest controller is column 0 of ``delay_order`` — a pure
+    argmin over the delay matrix with the same lower-id tie-break as
+    :meth:`~repro.control.delay.DelayModel.nearest_controller`.
+    """
+    start = time.perf_counter()
+    arrays = instance_arrays(instance)
+    _, _, _, indptr, _, rows, gamma, _, _ = _seq_prep(arrays)
+    nearest = arrays.cache.get("nearest_col")
+    if nearest is None:
+        nearest = arrays.delay_order[:, 0].tolist()
+        arrays.cache["nearest_col"] = nearest
+    available = arrays.spare.tolist()
+    load = [0] * len(arrays.controllers)
+    mapped: list[tuple[int, int]] = []
+    for s, c in enumerate(nearest):
+        g = gamma[s]
+        if available[c] >= g:
+            available[c] -= g
+            load[c] += g
+            mapped.append((s, c))
+
+    switches = arrays.switches
+    controllers = arrays.controllers
+    pairs = instance.pairs
+    return RecoverySolution(
+        algorithm="nearest",
+        mapping={switches[s]: controllers[c] for s, c in mapped},
+        sdn_pairs={
+            pairs[k]
+            for s, _ in mapped
+            for k in range(indptr[s], indptr[s + 1])
+        },
+        load_override={controllers[c]: load[c] for c in range(len(controllers))},
+        solve_time_s=time.perf_counter() - start,
+        feasible=True,
+        meta={"kernel": "array"},
+    )

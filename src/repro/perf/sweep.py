@@ -55,6 +55,7 @@ Fault-injection sites (``sweep.task``, ``sweep.payload``,
 
 from __future__ import annotations
 
+import itertools
 import pickle
 import time
 import warnings
@@ -66,11 +67,16 @@ from dataclasses import dataclass, field
 from repro.baselines import get_algorithm
 from repro.control.failures import FailureScenario
 from repro.exceptions import DegradedResultWarning
-from repro.fmssm.evaluation import RecoveryEvaluation, evaluate_solution
+from repro.fmssm.evaluation import (
+    RecoveryEvaluation,
+    evaluate_batch,
+    evaluate_solution,
+)
 from repro.fmssm.instance import FMSSMInstance
 from repro.fmssm.optimal import WarmChain, solve_optimal
 from repro.fmssm.solution import RecoverySolution
 from repro.perf.incremental import chain_segments, hamming_chain
+from repro.perf.kernels import prepare_instance
 from repro.perf.shm import (
     FanoutStats,
     SegmentLease,
@@ -264,6 +270,7 @@ def _run_task(task: tuple[int, str]) -> _TaskResult:
     index, algorithm = task
     plan = _WORKER["plan"]
     instance = plan.context.instance(plan.scenarios[index])
+    prepare_instance(instance)
     solution, report = _solve(
         instance,
         algorithm,
@@ -294,6 +301,8 @@ def _run_chain_task(
     out: list[_TaskResult] = []
     for index, algorithms in segment:
         instance = plan.context.instance(plan.scenarios[index])
+        prepare_instance(instance)
+        solved = []
         for algorithm in algorithms:
             chaos.check("sweep.task")
             solution, report = _solve(
@@ -305,7 +314,9 @@ def _run_chain_task(
                 plan.validate,
                 warm_chain=warm_chain if plan.ladder is None else None,
             )
-            evaluation = evaluate_solution(instance, solution)
+            solved.append((algorithm, solution, report))
+        evaluations = evaluate_batch(instance, [sol for _, sol, _ in solved])
+        for (algorithm, solution, report), evaluation in zip(solved, evaluations):
             out.append((
                 index, algorithm, solution, evaluation,
                 None if report is None else report.to_dict(),
@@ -465,22 +476,27 @@ class _SweepRunner:
             for row in self._serial_chain(tasks):
                 self._store(*row)
             return
-        for index, algorithm in tasks:
-            chaos.check("sweep.task")
+        for index, group in itertools.groupby(tasks, key=lambda t: t[0]):
             instance = self.context.instance(self.scenarios[index])
-            solution, report = _solve(
-                instance,
-                algorithm,
-                self.optimal_time_limit_s,
-                self.optimal_compile,
-                self.ladder,
-                self.validate,
-            )
-            evaluation = evaluate_solution(instance, solution)
-            self._store(
-                index, algorithm, solution, evaluation,
-                None if report is None else report.to_dict(),
-            )
+            prepare_instance(instance)
+            solved = []
+            for _, algorithm in group:
+                chaos.check("sweep.task")
+                solution, report = _solve(
+                    instance,
+                    algorithm,
+                    self.optimal_time_limit_s,
+                    self.optimal_compile,
+                    self.ladder,
+                    self.validate,
+                )
+                solved.append((algorithm, solution, report))
+            evaluations = evaluate_batch(instance, [sol for _, sol, _ in solved])
+            for (algorithm, solution, report), evaluation in zip(solved, evaluations):
+                self._store(
+                    index, algorithm, solution, evaluation,
+                    None if report is None else report.to_dict(),
+                )
 
     def _serial_chain(self, tasks: Sequence[tuple[int, str]]):
         """In-process incremental chain (generator of task-result rows)."""
@@ -488,6 +504,8 @@ class _SweepRunner:
         (segment,) = self.chain_plan(tasks, 1)
         for index, algorithms in segment:
             instance = self.context.instance(self.scenarios[index])
+            prepare_instance(instance)
+            solved = []
             for algorithm in algorithms:
                 chaos.check("sweep.task")
                 solution, report = _solve(
@@ -499,7 +517,9 @@ class _SweepRunner:
                     self.validate,
                     warm_chain=warm_chain if self.ladder is None else None,
                 )
-                evaluation = evaluate_solution(instance, solution)
+                solved.append((algorithm, solution, report))
+            evaluations = evaluate_batch(instance, [sol for _, sol, _ in solved])
+            for (algorithm, solution, report), evaluation in zip(solved, evaluations):
                 yield (
                     index, algorithm, solution, evaluation,
                     None if report is None else report.to_dict(), None,

@@ -63,8 +63,13 @@ def grouped_capacity_select(groups: np.ndarray, capacity: np.ndarray) -> np.ndar
         return groups
     order = np.argsort(groups, kind="stable")
     sorted_groups = groups[order]
-    boundaries = np.flatnonzero(np.r_[True, sorted_groups[1:] != sorted_groups[:-1]])
-    sizes = np.diff(np.r_[boundaries, len(order)])
+    new_group = np.empty(len(order), dtype=bool)
+    new_group[0] = True
+    np.not_equal(sorted_groups[1:], sorted_groups[:-1], out=new_group[1:])
+    boundaries = np.flatnonzero(new_group)
+    sizes = np.empty(len(boundaries), dtype=np.int64)
+    sizes[:-1] = boundaries[1:] - boundaries[:-1]
+    sizes[-1] = len(order) - boundaries[-1]
     ranks = np.arange(len(order)) - np.repeat(boundaries, sizes)
     keep = ranks < capacity[sorted_groups]
     return np.sort(order[keep])
@@ -385,8 +390,23 @@ def solve_pm(
     instance: FMSSMInstance,
     phase2_order: str = "paper",
     enforce_delay: bool = False,
+    kernel: str | None = None,
 ) -> RecoverySolution:
-    """Run the PM heuristic on ``instance`` (convenience wrapper)."""
+    """Run the PM heuristic on ``instance`` (convenience wrapper).
+
+    ``kernel`` selects the implementation: ``"array"`` (the default, see
+    :func:`repro.perf.kernels.solve_pm_array`) or ``"dict"`` — this
+    class, kept as the pseudo-code-shaped equivalence reference.  Both
+    produce bit-identical solutions (``tests/test_perf_kernels.py``).
+    """
+    from repro.perf.kernels import resolve_kernel
+
+    if resolve_kernel(kernel) == "array":
+        from repro.perf.kernels import solve_pm_array
+
+        return solve_pm_array(
+            instance, phase2_order=phase2_order, enforce_delay=enforce_delay
+        )
     return ProgrammabilityMedic(
         instance, phase2_order=phase2_order, enforce_delay=enforce_delay
     ).run()

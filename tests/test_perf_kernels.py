@@ -1,0 +1,290 @@
+"""Equivalence tests for the vectorized heuristic kernels.
+
+The contract (DESIGN.md §10): for every non-exact algorithm,
+``kernel="array"`` must produce a solution *bit-identical* to
+``kernel="dict"`` — same ``mapping``, ``sdn_pairs``, ``pair_controller``
+and accounting, hence the same objective — on any instance.  The array
+route is not "approximately the same heuristic"; it is the same
+algorithm with the same tie-breaking, expressed over dense views.
+
+Three layers of evidence:
+
+* a seeded ATT scenario matrix (every 1-failure case plus sampled 2-
+  and 3-failure cases) over all seven solver variants;
+* a synthetic Waxman matrix with a different controller placement;
+* hypothesis properties over (a) random end-to-end contexts and (b)
+  hand-built tie-heavy instances whose small integer delays force the
+  tie-break paths, plus ``evaluate_batch`` ≡ per-solution
+  ``evaluate_solution``.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.nearest import solve_nearest
+from repro.baselines.pg import solve_pg
+from repro.baselines.retroflow import solve_retroflow
+from repro.control.failures import (
+    FailureScenario,
+    enumerate_failure_scenarios,
+    sample_failure_scenarios,
+)
+from repro.experiments.scenarios import custom_context
+from repro.flows.flow import Flow
+from repro.fmssm.evaluation import evaluate_batch, evaluate_solution
+from repro.fmssm.instance import FMSSMInstance
+from repro.perf.kernels import (
+    DEFAULT_KERNEL,
+    instance_arrays,
+    prepare_instance,
+    resolve_kernel,
+)
+from repro.pm.algorithm import solve_pm
+from repro.topology.generators import waxman_topology
+
+SETTINGS = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def _pm_variant(phase2_order: str, enforce_delay: bool):
+    def run(instance, kernel):
+        return solve_pm(
+            instance,
+            phase2_order=phase2_order,
+            enforce_delay=enforce_delay,
+            kernel=kernel,
+        )
+
+    return run
+
+
+#: Every routed solver variant: (id, callable(instance, kernel)).
+SOLVERS = (
+    ("pm", _pm_variant("paper", False)),
+    ("pm-greedy", _pm_variant("greedy", False)),
+    ("pm-strict", _pm_variant("paper", True)),
+    ("pm-strict-greedy", _pm_variant("greedy", True)),
+    ("pg", lambda instance, kernel: solve_pg(instance, kernel=kernel)),
+    ("retroflow", lambda instance, kernel: solve_retroflow(instance, kernel=kernel)),
+    ("nearest", lambda instance, kernel: solve_nearest(instance, kernel=kernel)),
+)
+SOLVER_IDS = tuple(name for name, _ in SOLVERS)
+
+
+def assert_same_solution(array_solution, dict_solution):
+    """Bit-identical on every answer-bearing field (``meta`` is free-form)."""
+    assert array_solution.algorithm == dict_solution.algorithm
+    assert array_solution.feasible == dict_solution.feasible
+    assert array_solution.mapping == dict_solution.mapping
+    assert array_solution.sdn_pairs == dict_solution.sdn_pairs
+    assert array_solution.pair_controller == dict_solution.pair_controller
+    assert array_solution.load_override == dict_solution.load_override
+    assert array_solution.extra_overhead_ms == dict_solution.extra_overhead_ms
+
+
+def assert_same_evaluation(a, b):
+    """Identical metrics; ``solve_time_s`` is a wall clock and excluded."""
+    assert a.algorithm == b.algorithm
+    assert a.feasible == b.feasible
+    assert a.programmability == b.programmability
+    assert a.least_programmability == b.least_programmability
+    assert a.total_programmability == b.total_programmability
+    assert a.recovered_flows == b.recovered_flows
+    assert a.recoverable_flows == b.recoverable_flows
+    assert a.offline_flows == b.offline_flows
+    assert a.recovered_switches == b.recovered_switches
+    assert a.offline_switches == b.offline_switches
+    assert a.controller_load == b.controller_load
+    assert a.total_delay_ms == b.total_delay_ms
+    assert a.ideal_delay_ms == b.ideal_delay_ms
+    assert a.per_flow_overhead_ms == b.per_flow_overhead_ms
+    assert a.objective == b.objective
+
+
+def _assert_routes_agree(instance, solver):
+    array_solution = solver(instance, "array")
+    dict_solution = solver(instance, "dict")
+    assert_same_solution(array_solution, dict_solution)
+    assert array_solution.meta.get("kernel") == "array"
+    assert_same_evaluation(
+        evaluate_solution(instance, array_solution),
+        evaluate_solution(instance, dict_solution),
+    )
+
+
+def _matrix_scenarios(plane):
+    scenarios = list(enumerate_failure_scenarios(plane, 1))
+    scenarios += list(sample_failure_scenarios(plane, 2, 6, seed=11))
+    scenarios += list(sample_failure_scenarios(plane, 3, 4, seed=23))
+    return scenarios
+
+
+class TestKernelRouting:
+    def test_default_is_array(self):
+        assert DEFAULT_KERNEL == "array"
+        assert resolve_kernel(None) == "array"
+        assert resolve_kernel("array") == "array"
+        assert resolve_kernel("dict") == "dict"
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError, match="kernel"):
+            resolve_kernel("simd")
+
+    def test_prepare_instance_returns_cached_view(self, tiny_instance):
+        arrays = prepare_instance(tiny_instance)
+        assert prepare_instance(tiny_instance) is arrays
+        assert instance_arrays(tiny_instance) is arrays
+        assert "seq_lists" in arrays.cache
+
+
+class TestAttMatrix:
+    """Seeded ATT failure matrix: array ≡ dict on every variant."""
+
+    @pytest.mark.parametrize(("name", "solver"), SOLVERS, ids=SOLVER_IDS)
+    def test_array_matches_dict(self, att_context, name, solver):
+        for scenario in _matrix_scenarios(att_context.plane):
+            _assert_routes_agree(att_context.instance(scenario), solver)
+
+
+class TestSyntheticMatrix:
+    """Waxman topology with a different placement than ATT's."""
+
+    @pytest.fixture(scope="class")
+    def synthetic_context(self):
+        topology = waxman_topology(24, alpha=0.6, beta=0.35, seed=5)
+        return custom_context(
+            topology, controller_sites=(0, 5, 11, 17), capacity=900
+        )
+
+    @pytest.mark.parametrize(("name", "solver"), SOLVERS, ids=SOLVER_IDS)
+    def test_array_matches_dict(self, synthetic_context, name, solver):
+        for scenario in enumerate_failure_scenarios(synthetic_context.plane, 1):
+            _assert_routes_agree(synthetic_context.instance(scenario), solver)
+
+
+@st.composite
+def recovery_instances(draw):
+    """Random end-to-end SD-WAN instances (topology → plane → failure)."""
+    n = draw(st.integers(min_value=6, max_value=12))
+    seed = draw(st.integers(min_value=0, max_value=30))
+    topology = waxman_topology(n, alpha=0.7, beta=0.4, seed=seed)
+    nodes = topology.nodes
+    n_sites = draw(st.integers(min_value=2, max_value=min(4, n - 1)))
+    sites = nodes[:n_sites]
+    capacity = draw(st.integers(min_value=40, max_value=400))
+    try:
+        context = custom_context(topology, controller_sites=sites, capacity=capacity)
+        context.plane.spare_capacity(context.flows)
+    except Exception:
+        # Mis-provisioned draw (capacity below baseline load): skip.
+        assume(False)
+    failed = draw(st.sampled_from(sites))
+    return context.instance(FailureScenario(frozenset({failed})))
+
+
+@st.composite
+def tie_heavy_instances(draw):
+    """Hand-built instances with tiny integer delays that force ties.
+
+    Random topologies rarely produce equal geodesic delays; the
+    tie-break rules in the kernels (lowest switch id, lowest controller
+    id, first-in-``pairs``-order) only get exercised when keys collide.
+    Delays drawn from {1, 2, 3} and small spares guarantee collisions
+    on every code path, including budget-exhaustion mid-scan.
+    """
+    n_switches = draw(st.integers(min_value=2, max_value=5))
+    n_controllers = draw(st.integers(min_value=2, max_value=3))
+    switches = tuple(range(n_switches))
+    controllers = tuple(range(100, 100 + n_controllers))
+    delay = {
+        (s, c): float(draw(st.integers(min_value=1, max_value=3)))
+        for s in switches
+        for c in controllers
+    }
+    spare = {c: draw(st.integers(min_value=0, max_value=10)) for c in controllers}
+    n_flows = draw(st.integers(min_value=1, max_value=6))
+    flows = {}
+    for index in range(n_flows):
+        src, dst = 200 + index, 300 + index
+        flows[(src, dst)] = Flow(src=src, dst=dst, path=(src, dst))
+    pbar = {}
+    for s in switches:
+        for flow_id in flows:
+            if draw(st.booleans()):
+                pbar[(s, flow_id)] = draw(st.integers(min_value=2, max_value=4))
+    gamma = {s: draw(st.integers(min_value=1, max_value=4)) for s in switches}
+    nearest = {
+        s: min(controllers, key=lambda c: (delay[(s, c)], c)) for s in switches
+    }
+    return FMSSMInstance(
+        switches=switches,
+        controllers=controllers,
+        spare=spare,
+        delay=delay,
+        flows=flows,
+        pbar=pbar,
+        gamma=gamma,
+        ideal_delay_ms=float(draw(st.integers(min_value=0, max_value=3))),
+        lam=0.001,
+        nearest=nearest,
+    )
+
+
+class TestKernelProperties:
+    @SETTINGS
+    @given(instance=recovery_instances())
+    def test_array_matches_dict_on_random_contexts(self, instance):
+        for _, solver in SOLVERS:
+            assert_same_solution(solver(instance, "array"), solver(instance, "dict"))
+
+    @SETTINGS
+    @given(instance=tie_heavy_instances())
+    def test_array_matches_dict_on_tie_heavy_instances(self, instance):
+        for _, solver in SOLVERS:
+            assert_same_solution(solver(instance, "array"), solver(instance, "dict"))
+
+    @SETTINGS
+    @given(instance=recovery_instances())
+    def test_objectives_match_across_routes(self, instance):
+        array_solutions = [solver(instance, "array") for _, solver in SOLVERS]
+        dict_solutions = [solver(instance, "dict") for _, solver in SOLVERS]
+        for a, d in zip(
+            evaluate_batch(instance, array_solutions),
+            evaluate_batch(instance, dict_solutions),
+        ):
+            assert_same_evaluation(a, d)
+
+    @SETTINGS
+    @given(instance=tie_heavy_instances())
+    def test_evaluate_batch_matches_per_solution(self, instance):
+        solutions = [solver(instance, "array") for _, solver in SOLVERS]
+        batch = evaluate_batch(instance, solutions)
+        assert len(batch) == len(solutions)
+        for solution, batched in zip(solutions, batch):
+            assert_same_evaluation(batched, evaluate_solution(instance, solution))
+
+
+class TestEvaluateBatchAtt:
+    """``evaluate_batch`` ≡ per-solution evaluation on the paper's case."""
+
+    def test_batch_matches_single(self, att_instance_13_20):
+        instance = att_instance_13_20
+        solutions = [solver(instance, "array") for _, solver in SOLVERS]
+        for solution, batched in zip(
+            solutions, evaluate_batch(instance, solutions)
+        ):
+            assert_same_evaluation(batched, evaluate_solution(instance, solution))
+
+    def test_batch_respects_verify_flag(self, att_instance_13_20):
+        instance = att_instance_13_20
+        solutions = [solve_pm(instance), solve_retroflow(instance)]
+        unverified = evaluate_batch(instance, solutions, verify=False)
+        verified = evaluate_batch(instance, solutions)
+        for a, b in zip(unverified, verified):
+            assert_same_evaluation(a, b)
