@@ -21,6 +21,11 @@ Rules
   demotions) may exceed the baseline total by at most ``--degraded-slack``
   (default 5).  A solver change that silently mass-degrades to the PM
   heuristic would otherwise read as a massive speedup.
+* Warm-executor reuse is a *same-run* invariant, immune to runner speed:
+  when both stages are present, ``sweep_reuse_s`` (second sweep on a
+  warm :class:`~repro.perf.executor.SweepExecutor`) must be at most
+  ``sweep_shm_s / 5`` — the whole point of the persistent pool is that
+  repeat sweeps stop paying the fan-out bill.
 * The ``fanout`` section (payload *bytes*, deliberately excluded from
   the seconds comparison — byte counts are deterministic, so they get
   no tolerance) fails when the shared-memory route's per-worker in-band
@@ -145,6 +150,33 @@ def compare_fanout(
     return failures
 
 
+#: The warm second sweep must beat the cold shm fan-out by this factor.
+REUSE_SPEEDUP = 5.0
+
+
+def compare_executor_reuse(
+    current: dict[str, float], speedup: float = REUSE_SPEEDUP
+) -> list[str]:
+    """Failure messages when warm-executor reuse stopped paying off.
+
+    Both stages come from the *same* run on the same machine, so unlike
+    the cross-run comparisons no noise tolerance applies beyond the
+    generous required factor itself.  Runs predating the executor (or
+    with either stage skipped) pass vacuously.
+    """
+    reuse_s = current.get("sweep_reuse_s")
+    cold_s = current.get("sweep_shm_s")
+    if reuse_s is None or cold_s is None:
+        return []
+    if reuse_s > cold_s / speedup:
+        return [
+            f"sweep_reuse_s: {reuse_s:.4f}s is not {speedup:g}x faster than "
+            f"the same run's cold sweep_shm_s {cold_s:.4f}s — warm-executor "
+            f"reuse has regressed"
+        ]
+    return []
+
+
 def compare(
     current: dict[str, float],
     baseline: dict[str, float],
@@ -181,6 +213,7 @@ def main(argv: list[str] | None = None) -> int:
     current = load_stages(args.current)
     baseline = load_stages(args.baseline)
     failures = compare(current, baseline, args.tolerance, args.floor_s)
+    failures += compare_executor_reuse(current)
     cur_degraded = load_degraded(args.current)
     failures += compare_degraded(
         cur_degraded, load_degraded(args.baseline), args.degraded_slack

@@ -25,6 +25,8 @@ from __future__ import annotations
 
 import time
 
+import numpy as np
+
 from repro.fmssm.instance import FMSSMInstance
 from repro.fmssm.solution import RecoverySolution
 from repro.lp import LinExpr, Model, SolveStatus, Var, solve
@@ -34,7 +36,11 @@ __all__ = ["solve_retroflow", "solve_retroflow_ip"]
 
 
 def _switch_value(instance: FMSSMInstance, switch: NodeId) -> int:
-    """Total programmability recovered by remapping ``switch`` whole."""
+    """Total programmability recovered by remapping ``switch`` whole.
+
+    Dict-route reference; the array routes read the same quantity from
+    one weighted bincount (:func:`_switch_values_array`).
+    """
     return sum(instance.pbar[(switch, f)] for f in instance.pairs_at[switch])
 
 
@@ -45,6 +51,42 @@ def _sdn_pairs_for(
         (switch, flow_id)
         for switch in switches
         for flow_id in instance.pairs_at[switch]
+    }
+
+
+def _switch_values_array(instance: FMSSMInstance) -> dict[NodeId, int]:
+    """Every switch's recovery value via the cached array view.
+
+    One weighted bincount over the pair columns replaces N dict-walks;
+    ``p̄`` is integral, so the float weights convert back exactly.
+    """
+    from repro.perf.kernels import instance_arrays
+
+    arrays = instance_arrays(instance)
+    n = len(arrays.switches)
+    if arrays.n_pairs:
+        values = np.bincount(
+            arrays.pair_switch, weights=arrays.pair_pbar, minlength=n
+        ).astype(np.int64)
+    else:
+        values = np.zeros(n, dtype=np.int64)
+    return dict(zip(arrays.switches, values.tolist()))
+
+
+def _sdn_pairs_array(
+    instance: FMSSMInstance, switches: set[NodeId]
+) -> set[tuple[NodeId, FlowId]]:
+    """The programmable pairs of ``switches``, sliced from the pair CSR."""
+    from repro.perf.kernels import instance_arrays
+
+    arrays = instance_arrays(instance)
+    pairs = instance.pairs
+    indptr = arrays.switch_indptr
+    switch_pos = arrays.switch_pos
+    return {
+        pairs[k]
+        for switch in switches
+        for k in range(indptr[switch_pos[switch]], indptr[switch_pos[switch] + 1])
     }
 
 
@@ -106,6 +148,7 @@ def solve_retroflow_ip(
     instance: FMSSMInstance,
     solver: str = "highs",
     time_limit_s: float | None = 120.0,
+    kernel: str | None = None,
 ) -> RecoverySolution:
     """Exact switch-level recovery (generalized assignment IP).
 
@@ -116,8 +159,23 @@ def solve_retroflow_ip(
     This is the ceiling of *any* whole-switch mapper; the gap between it
     and PM isolates what hybrid per-flow routing buys beyond clever
     switch packing.
+
+    ``kernel`` selects how the objective values and the output's SDN
+    pairs are materialized: ``"array"`` (the default) reads them off the
+    cached :class:`~repro.perf.kernels.InstanceArrays` view, ``"dict"``
+    keeps the per-pair dict walks as the equivalence reference.  The IP
+    itself is identical either way — values are exact integers — so the
+    solution is bit-identical across kernels.
     """
+    from repro.perf.kernels import resolve_kernel
+
+    use_array = resolve_kernel(kernel) == "array"
     start = time.perf_counter()
+    if use_array:
+        values = _switch_values_array(instance)
+        value_of = values.__getitem__
+    else:
+        value_of = lambda s: _switch_value(instance, s)  # noqa: E731
     model = Model("retroflow-ip")
     z: dict[tuple[NodeId, ControllerId], Var] = {}
     for switch in instance.switches:
@@ -134,7 +192,7 @@ def solve_retroflow_ip(
         )
         model.add_constraint(expr <= instance.spare[controller], name=f"cap[{controller}]")
     objective = LinExpr.total(
-        (float(_switch_value(instance, s)), z[(s, c)])
+        (float(value_of(s)), z[(s, c)])
         for s in instance.switches
         for c in instance.controllers
     )
@@ -155,7 +213,10 @@ def solve_retroflow_ip(
         if result.values.get(var.name, 0.0) > 0.5:
             mapping[switch] = controller
             load[controller] += instance.gamma[switch]
-    sdn_pairs = _sdn_pairs_for(instance, set(mapping))
+    if use_array:
+        sdn_pairs = _sdn_pairs_array(instance, set(mapping))
+    else:
+        sdn_pairs = _sdn_pairs_for(instance, set(mapping))
     return RecoverySolution(
         algorithm="retroflow-ip",
         mapping=mapping,

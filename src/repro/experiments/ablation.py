@@ -136,15 +136,15 @@ def phase2_ablation(
     return rows
 
 
-def _pm_without_phase2(instance: FMSSMInstance):
-    """Run PM with phase 2 disabled (monkey-free: subclass override)."""
-    from repro.pm.algorithm import ProgrammabilityMedic
+def _pm_without_phase2(instance: FMSSMInstance, kernel: str | None = None):
+    """Run PM with phase 2 disabled (the ``phase2=False`` variant).
 
-    class _Phase1Only(ProgrammabilityMedic):
-        def _phase2(self) -> None:  # noqa: D102 - intentional no-op
-            return
-
-    solution = _Phase1Only(instance).run()
+    Routes through :func:`~repro.pm.algorithm.solve_pm`, so the default
+    kernel is the array one; ``kernel="dict"`` runs the pseudo-code
+    reference (``ProgrammabilityMedic(..., phase2=False)``) for
+    cross-validation.
+    """
+    solution = solve_pm(instance, phase2=False, kernel=kernel)
     solution.algorithm = "pm-no-phase2"
     return solution
 

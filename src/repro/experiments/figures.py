@@ -77,6 +77,7 @@ def failure_figure_data(
     results: Sequence[ScenarioResult] | None = None,
     parallel: bool = True,
     max_workers: int | None = None,
+    executor: object = None,
 ) -> dict[str, Any]:
     """All per-case series for an ``n_failures``-failure figure.
 
@@ -85,7 +86,9 @@ def failure_figure_data(
     out over a process pool by default (results are bit-identical to
     the serial runner; small heuristic-only sweeps stay serial via the
     pool's ``min_parallel_tasks`` heuristic) — set ``parallel=False``
-    to force the in-process serial sweep.
+    to force the in-process serial sweep, or pass a warm ``executor``
+    (:class:`~repro.perf.executor.SweepExecutor`) when generating
+    several figures over one context.
     """
     if results is None:
         if parallel:
@@ -95,6 +98,7 @@ def failure_figure_data(
                 algorithms,
                 optimal_time_limit_s,
                 max_workers=max_workers,
+                executor=executor,
             )
         else:
             results = run_failure_sweep(
@@ -131,6 +135,7 @@ def fig7_data(
     results_by_n: dict[int, Sequence[ScenarioResult]] | None = None,
     parallel: bool = True,
     max_workers: int | None = None,
+    executor: object = None,
 ) -> dict[str, Any]:
     """Fig. 7 — PM computation time as a percentage of Optimal's.
 
@@ -152,6 +157,7 @@ def fig7_data(
                 ("optimal", "pm"),
                 optimal_time_limit_s,
                 max_workers=max_workers,
+                executor=executor,
             )
         else:
             results = run_failure_sweep(

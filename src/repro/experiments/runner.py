@@ -137,6 +137,7 @@ def run_failure_sweep_parallel(
     checkpoint_every: int = 4,
     transport: str = "auto",
     incremental: bool = False,
+    executor: object = None,
 ) -> list[ScenarioResult]:
     """:func:`run_failure_sweep` fanned over a process pool.
 
@@ -157,7 +158,10 @@ def run_failure_sweep_parallel(
     ``transport`` selects how the plan reaches workers (``"auto"`` /
     ``"shm"`` / ``"pickle"``) and ``incremental`` chains scenarios by
     failure-set similarity — both pure execution strategies with
-    bit-identical results; see ``docs/performance.md``.
+    bit-identical results; see ``docs/performance.md``.  ``executor``
+    submits to a warm :class:`~repro.perf.executor.SweepExecutor`
+    instead of spawning a fresh pool — the right choice when several
+    sweeps run back to back over one context.
     """
     from repro.perf.sweep import parallel_sweep
 
@@ -175,4 +179,5 @@ def run_failure_sweep_parallel(
         checkpoint_every=checkpoint_every,
         transport=transport,
         incremental=incremental,
+        executor=executor,
     )

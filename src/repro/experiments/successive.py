@@ -43,6 +43,7 @@ def run_successive(
     algorithm: str = "pm",
     parallel: bool = True,
     max_workers: int | None = None,
+    executor: object = None,
 ) -> list[SuccessiveStage]:
     """Fail controllers in ``order`` and re-solve after each failure.
 
@@ -51,7 +52,8 @@ def run_successive(
     other scenario list (results come back in stage order, bit-identical
     to the serial loop; short heuristic-only chains stay in-process via
     the pool's ``min_parallel_tasks`` heuristic).  ``parallel=False``
-    forces the serial loop.
+    forces the serial loop; ``executor`` submits to a warm
+    :class:`~repro.perf.executor.SweepExecutor` shared across runs.
     """
     scenarios = list(successive_scenarios(tuple(order)))
     if parallel:
@@ -62,6 +64,7 @@ def run_successive(
             scenarios,
             (algorithm,),
             max_workers=max_workers,
+            executor=executor,
         )
         evaluations = [result.evaluations[algorithm] for result in results]
     else:

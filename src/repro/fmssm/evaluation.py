@@ -115,19 +115,43 @@ def _recoverable_set(instance: FMSSMInstance) -> frozenset[FlowId]:
     return cached
 
 
+def _verify_sets(instance: FMSSMInstance) -> tuple[set, set]:
+    """The instance's (controller, switch) membership sets, cached.
+
+    The verifier consults them for every solution; building them once
+    per instance amortizes the setup across a batch (and across repeat
+    evaluations of the same scenario).
+    """
+    cached = instance.__dict__.get("_verify_sets")
+    if cached is None:
+        cached = (set(instance.controllers), set(instance.switches))
+        instance.__dict__["_verify_sets"] = cached
+    return cached
+
+
 #: Resolved served pairs of one solution: ``(arrays, served, ctrl)``
 #: where ``served`` holds ascending pair indices of SDN pairs actually
 #: served by a controller and ``ctrl`` their controller positions.
 _ActiveView = tuple  # (InstanceArrays, np.ndarray, np.ndarray)
 
 
-def _active_view(instance: FMSSMInstance, solution: RecoverySolution) -> _ActiveView:
+def _active_view(
+    instance: FMSSMInstance,
+    solution: RecoverySolution,
+    resolved: "np.ndarray | None" = None,
+) -> _ActiveView:
     """Resolve ``solution.active_pairs()`` to dense index arrays.
 
     ``served`` ascends, so downstream delay accumulation walks pairs in
     the same sorted order ``active_pairs()`` yields.  Mirrors its
     semantics exactly: a pair is served iff it has a per-pair controller
     or its switch is mapped, and per-pair assignments win.
+
+    ``resolved`` lets the verifier hand over the already-resolved pair
+    indices of ``solution.sdn_pairs`` (all non-negative — Eq. 1 checked
+    them first), skipping the second resolution pass.  The unverified
+    path keeps the historical KeyError semantics for non-programmable
+    pairs.
     """
     from repro.perf.kernels import instance_arrays
 
@@ -138,20 +162,23 @@ def _active_view(instance: FMSSMInstance, solution: RecoverySolution) -> _Active
 
     pair_index = arrays.pair_index
     sdn_pairs = solution.sdn_pairs
-    served = np.fromiter(
-        (pair_index.get(pair, -1) for pair in sdn_pairs),
-        dtype=np.int64,
-        count=len(sdn_pairs),
-    )
-    if served.min() < 0:
-        # Non-programmable SDN pairs: an error only when served (the
-        # historical dict walk indexed instance.pbar on active pairs).
-        for pair in sdn_pairs:
-            if pair not in pair_index and (
-                pair in solution.pair_controller or pair[0] in solution.mapping
-            ):
-                raise KeyError(pair)
-        served = served[served >= 0]
+    if resolved is not None:
+        served = resolved.copy()
+    else:
+        served = np.fromiter(
+            (pair_index.get(pair, -1) for pair in sdn_pairs),
+            dtype=np.int64,
+            count=len(sdn_pairs),
+        )
+        if served.min() < 0:
+            # Non-programmable SDN pairs: an error only when served (the
+            # historical dict walk indexed instance.pbar on active pairs).
+            for pair in sdn_pairs:
+                if pair not in pair_index and (
+                    pair in solution.pair_controller or pair[0] in solution.mapping
+                ):
+                    raise KeyError(pair)
+            served = served[served >= 0]
     served.sort()
 
     ctrl_of = np.full(len(arrays.switches), -1, dtype=np.int64)
@@ -218,16 +245,19 @@ def _verified_view(
 ) -> _ActiveView | None:
     """Body of :func:`verify_solution`, returning the resolved view.
 
-    The membership checks stay plain dict/set loops (they must name the
-    offending entity); the load and delay totals run on the view, which
-    the caller (:func:`evaluate_solution`) then reuses.
+    The mapping checks stay plain dict/set loops (they must name the
+    offending entity); the Eq. 1 membership check (SDN pairs are
+    programmable pairs) is one batched ``pair_index`` resolution whose
+    result feeds straight into :func:`_active_view`, so the pairs are
+    resolved once per verified evaluation, not twice.  The membership
+    sets themselves are cached per instance (:func:`_verify_sets`), so
+    a batch of solutions shares all setup.
     """
     if not solution.feasible:
         if solution.mapping or solution.sdn_pairs:
             raise SolutionError("infeasible solutions must be empty")
         return None
-    controller_set = set(instance.controllers)
-    switch_set = set(instance.switches)
+    controller_set, switch_set = _verify_sets(instance)
     for switch, controller in solution.mapping.items():
         if switch not in switch_set:
             raise SolutionError(f"mapped switch {switch!r} is not offline")
@@ -235,8 +265,19 @@ def _verified_view(
             raise SolutionError(
                 f"switch {switch!r} mapped to non-active controller {controller!r}"
             )
-    for pair in solution.sdn_pairs:
-        if pair not in instance.pbar:
+    resolved = None
+    if solution.sdn_pairs:
+        from repro.perf.kernels import instance_arrays
+
+        pair_index = instance_arrays(instance).pair_index
+        sdn_list = list(solution.sdn_pairs)
+        resolved = np.fromiter(
+            (pair_index.get(pair, -1) for pair in sdn_list),
+            dtype=np.int64,
+            count=len(sdn_list),
+        )
+        if resolved.min() < 0:
+            pair = sdn_list[int(np.flatnonzero(resolved < 0)[0])]
             raise SolutionError(f"SDN pair {pair!r} is not a programmable pair")
     for pair, controller in solution.pair_controller.items():
         if controller not in controller_set:
@@ -244,7 +285,7 @@ def _verified_view(
                 f"pair {pair!r} served by non-active controller {controller!r}"
             )
 
-    view = _active_view(instance, solution)
+    view = _active_view(instance, solution, resolved=resolved)
     arrays, served, ctrl = view
     if solution.load_override is not None:
         load = {c: solution.load_override.get(c, 0) for c in instance.controllers}

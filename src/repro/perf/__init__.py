@@ -33,9 +33,21 @@ that cheap:
     RetroFlow, Nearest) over the :class:`~repro.perf.kernels.
     InstanceArrays` view — the default ``kernel="array"`` route, bit-
     identical to the dict-route reference implementations.
+
+:mod:`repro.perf.executor`
+    Persistent warm-worker pools: a :class:`~repro.perf.executor.
+    SweepExecutor` keeps workers (and their decoded plans, contexts and
+    compiled shapes) alive across sweeps, and :func:`~repro.perf.
+    executor.run_campaign` streams many sweeps over one warm executor.
 """
 
 from repro.perf.coefficients import CoefficientArrays, CoefficientTable
+from repro.perf.executor import (
+    SweepExecutor,
+    close_default_executor,
+    get_default_executor,
+    run_campaign,
+)
 from repro.perf.compile import (
     CompiledFMSSM,
     FMSSMCompiler,
@@ -81,6 +93,10 @@ __all__ = [
     "ShmPlanData",
     "parallel_sweep",
     "fanout_summary",
+    "SweepExecutor",
+    "get_default_executor",
+    "close_default_executor",
+    "run_campaign",
     "CompiledFMSSM",
     "FMSSMCompiler",
     "compile_fmssm",

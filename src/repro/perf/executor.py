@@ -1,0 +1,511 @@
+"""Persistent warm-worker sweep executor with cross-sweep artifact caching.
+
+Every :func:`~repro.perf.sweep.parallel_sweep` call historically paid
+the full fan-out bill — spawn a :class:`~concurrent.futures.
+ProcessPoolExecutor`, ship the plan, have every worker decode it — even
+though figure generation, successive-failure runs and the ablation
+drivers issue many sweeps over the *same* topology back to back.  On
+the bench that bill is ~1.6 s per sweep against a ~0.02 s pure-solve
+floor.  This module amortizes it:
+
+:class:`SweepExecutor`
+    A context-manager that keeps one process pool alive across sweeps
+    (health-checked, transparently respawned after a
+    ``BrokenProcessPool``) and caches each context's encoded payload —
+    including the :class:`~repro.perf.shm.SegmentLease` on its
+    shared-memory segment — so later sweeps over the same context ship
+    nothing but a small per-sweep header.
+
+Worker-side caches
+    Warm tasks carry a :class:`WarmHeader` naming the sweep's plan key
+    (checkpoint fingerprint + executor generation).  A worker that has
+    seen the key before skips decoding entirely; otherwise it rebuilds
+    the plan from two LRU-cached layers — the heavy context (decoded
+    once per *generation*, then shared by every sweep over that
+    context, together with all the instances, ``InstanceArrays`` and
+    hop-distance state the context caches) and the light per-sweep
+    parameters.  Compiled ``(N, M, P)`` sparse templates ride the
+    header once and land in the worker's process-wide
+    :func:`~repro.perf.compile.default_compiler`, which persists across
+    sweeps by construction.
+
+Invalidation
+    Generations are assigned per (executor, context object, coefficient
+    table): passing a *new* context — or re-materializing a context's
+    table — yields a fresh generation, so stale worker caches can never
+    serve it.  In-place mutation of a context that leaves its ``_table``
+    object untouched is not detected; build a new context (they are
+    cheap) or a fresh executor for that.
+
+Lifecycle
+    :meth:`SweepExecutor.close` shuts the pool down **before** releasing
+    the cached segment leases — a task still queued on a live worker
+    must be able to attach to its segment, so unlinking strictly follows
+    worker exit.  Workers that already attached keep their mappings
+    regardless (POSIX unlink semantics).  A module-level default
+    executor (:func:`get_default_executor`) is closed by ``atexit``.
+
+:func:`run_campaign` runs many sweeps over one context on a warm
+executor, greedily ordering them by failure-set similarity so
+consecutive sweeps maximize incremental (:class:`~repro.fmssm.optimal.
+WarmChain`) and cache reuse, and streams each sweep's results as it
+completes.
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+import itertools
+import os
+import pickle
+import threading
+import time
+from collections import OrderedDict
+from collections.abc import Iterator, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.perf.shm import (
+    SegmentLease,
+    SharedPayload,
+    dumps_shared,
+    loads_shared,
+    shm_available,
+)
+from repro.resilience import chaos
+
+__all__ = [
+    "SweepExecutor",
+    "WarmHeader",
+    "get_default_executor",
+    "close_default_executor",
+    "run_campaign",
+]
+
+
+# ----------------------------------------------------------------------
+# Parent side: the executor and its context-payload cache
+# ----------------------------------------------------------------------
+@dataclass
+class _ContextEntry:
+    """One encoded context, cached for the executor's lifetime.
+
+    Pins a strong reference to the context (so its ``id()`` can never be
+    recycled while the entry lives) and to the coefficient table it was
+    encoded from — the staleness guard.  Owns the shared-memory lease
+    until the entry is evicted or the executor closes.
+    """
+
+    context: object
+    table: object
+    generation: int
+    prefer_shm: bool
+    payload: SharedPayload
+    lease: SegmentLease | None
+    encode_s: float
+
+    def release(self) -> None:
+        if self.lease is not None:
+            self.lease.release()
+            self.lease = None
+
+
+@dataclass(frozen=True)
+class WarmHeader:
+    """The per-task prefix of a warm submission (small, picklable).
+
+    ``plan_key`` identifies the fully built plan in the worker's cache;
+    on a hit nothing below it is touched.  ``context_key`` identifies
+    the heavy context layer (shared by every sweep of one generation),
+    ``context_payload`` lets a cache-cold worker rebuild it, and
+    ``sweep_blob`` pickles the light per-sweep parameters.
+    """
+
+    plan_key: str
+    context_key: tuple[int, int]
+    context_payload: SharedPayload
+    sweep_blob: bytes
+
+
+@dataclass(frozen=True)
+class _SweepParams:
+    """The per-sweep half of a warm plan (everything but the context)."""
+
+    scenarios: tuple
+    optimal_time_limit_s: float
+    optimal_compile: str
+    ladder: object
+    validate: bool
+    chaos_plan: object
+    shapes: dict = field(default_factory=dict)
+
+
+class SweepExecutor:
+    """A reusable process pool + payload cache for many sweeps.
+
+    Use as a context manager (or call :meth:`close` explicitly)::
+
+        with SweepExecutor(max_workers=8) as executor:
+            first = parallel_sweep(context, scenarios, algos, executor=executor)
+            again = parallel_sweep(context, scenarios, algos, executor=executor)
+
+    The second sweep reuses the warm workers, the parent-side encoded
+    context, and the workers' decoded plan — its cost approaches the
+    pure solve time.  Results are bit-identical to fresh-pool and serial
+    sweeps (the equivalence tests assert it).
+
+    A sweep that breaks the pool mid-flight keeps its completed results
+    and finishes serially, exactly like the fresh-pool route; the
+    executor marks itself broken and the *next* sweep respawns the pool
+    transparently.
+    """
+
+    _ids = itertools.count(1)
+
+    def __init__(self, max_workers: int | None = None, max_cached_contexts: int = 4):
+        self.max_workers = max_workers or os.cpu_count() or 1
+        self.max_cached_contexts = max(1, max_cached_contexts)
+        #: Distinguishes this executor's cache keys from any other's
+        #: (worker processes can outlive an executor only within one
+        #: parent, so a process-local counter suffices).
+        self.id = next(SweepExecutor._ids)
+        self._pool: ProcessPoolExecutor | None = None
+        self._broken = False
+        self._closed = False
+        self._contexts: OrderedDict[int, _ContextEntry] = OrderedDict()
+        self._generations = itertools.count(1)
+        self._chaos_nonces = itertools.count(1)
+        #: Observability counters (sweeps, encode hits/misses, respawns).
+        self.stats: dict[str, int] = {
+            "sweeps": 0,
+            "encode_hits": 0,
+            "encode_misses": 0,
+            "respawns": 0,
+        }
+
+    # -- lifecycle -----------------------------------------------------
+    def __enter__(self) -> "SweepExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Shut the pool down, then release every cached segment lease.
+
+        The ordering is the contract: a queued warm task attaches to its
+        context's segment lazily, so the segment name must stay linked
+        until every worker has exited (``shutdown(wait=True)``).  Only
+        then are the leases released.  Idempotent.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+        while self._contexts:
+            _, entry = self._contexts.popitem()
+            entry.release()
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("SweepExecutor is closed")
+
+    # -- pool health ---------------------------------------------------
+    def pool(self) -> ProcessPoolExecutor:
+        """The live pool, (re)spawned on first use or after a break."""
+        self._require_open()
+        if self._pool is not None and self._broken:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        if self._pool is None:
+            respawn = self._broken
+            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+            self._broken = False
+            if respawn:
+                self.stats["respawns"] += 1
+        return self._pool
+
+    def mark_broken(self) -> None:
+        """Flag the pool for respawn on the next :meth:`pool` call."""
+        self._broken = True
+
+    # -- context encoding ----------------------------------------------
+    def encode_context(self, context: object, prefer_shm: bool = True) -> _ContextEntry:
+        """The cached encoded payload of ``context`` (encode on miss).
+
+        A hit requires the same context object with the same
+        materialized table, encoded for the same transport preference;
+        anything else re-encodes under a fresh generation, releasing the
+        stale entry's lease.  Raises whatever the encode raises
+        (unpicklable contexts) — callers fall back to serial execution.
+        """
+        self._require_open()
+        key = id(context)
+        table = getattr(context, "_table", None)
+        entry = self._contexts.get(key)
+        if (
+            entry is not None
+            and entry.context is context
+            and entry.table is table
+            and entry.prefer_shm == prefer_shm
+        ):
+            self._contexts.move_to_end(key)
+            self.stats["encode_hits"] += 1
+            return entry
+        if entry is not None:
+            self._contexts.pop(key).release()
+        entry = self._encode(context, prefer_shm)
+        self.stats["encode_misses"] += 1
+        self._contexts[key] = entry
+        while len(self._contexts) > self.max_cached_contexts:
+            _, evicted = self._contexts.popitem(last=False)
+            evicted.release()
+        return entry
+
+    def _encode(self, context: object, prefer_shm: bool) -> _ContextEntry:
+        start = time.perf_counter()
+        payload = lease = None
+        if prefer_shm and shm_available():
+            try:
+                data = _slim_context(context)
+            except Exception:
+                # Duck-typed contexts without an array form take the
+                # raw-pickle route below, like the cold pickle transport.
+                data = None
+            if data is not None:
+                payload, lease = dumps_shared(data)
+        if payload is None:
+            payload = SharedPayload(
+                inband=pickle.dumps(context, protocol=pickle.HIGHEST_PROTOCOL)
+            )
+        return _ContextEntry(
+            context=context,
+            table=getattr(context, "_table", None),
+            generation=next(self._generations),
+            prefer_shm=prefer_shm,
+            payload=payload,
+            lease=lease,
+            encode_s=time.perf_counter() - start,
+        )
+
+    def plan_key(self, entry: _ContextEntry, fingerprint: str, sweep_blob: bytes,
+                 chaotic: bool = False) -> str:
+        """The worker-cache key of one sweep's fully built plan.
+
+        Combines the context generation, the checkpoint fingerprint and
+        a digest of the serialized sweep parameters (which covers the
+        ladder, validation flag and exact scenario contents beyond the
+        names the fingerprint hashes).  Chaotic sweeps get a nonce: a
+        fresh worker-side ``chaos.install`` per sweep keeps the fault
+        counters starting from zero, matching a fresh pool.
+        """
+        digest = hashlib.sha256(sweep_blob).hexdigest()[:16]
+        key = f"x{self.id}g{entry.generation}:{fingerprint}:{digest}"
+        if chaotic:
+            key += f":c{next(self._chaos_nonces)}"
+        return key
+
+
+def _slim_context(context: object):
+    """``context`` stripped to its array form (no programmability model).
+
+    Reuses :class:`~repro.perf.sweep.ShmPlanData` with an empty scenario
+    list — its ``rebuild_context`` does exactly the reconstruction warm
+    workers need, and its numpy buffers are what the shm segment parks.
+    """
+    from repro.perf.coefficients import CoefficientArrays
+    from repro.perf.sweep import ShmPlanData
+
+    table = context.materialize_table()
+    return ShmPlanData(
+        topology=context.topology,
+        plane=context.plane,
+        delay_model=context.delay_model,
+        arrays=CoefficientArrays.from_table(table),
+        scenarios=(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Worker side: layered LRU caches and the warm task bodies
+# ----------------------------------------------------------------------
+#: Decoded contexts by (executor id, generation) — the heavy layer.
+#: A context entry accretes value as it is used: grounded instances,
+#: their InstanceArrays and list views all cache inside it, so a second
+#: sweep over the same generation skips instance preparation too.
+_CONTEXTS: OrderedDict[tuple[int, int], object] = OrderedDict()
+_MAX_CONTEXTS = 4
+
+#: Fully built SweepPlans by plan key — the light layer.
+_PLANS: OrderedDict[str, object] = OrderedDict()
+_MAX_PLANS = 8
+
+#: Plan key whose chaos plan is currently installed (or None).
+_CHAOS_KEY: list[str | None] = [None]
+
+
+def _warm_plan(header: WarmHeader):
+    """The worker's plan for ``header``, decoding as little as possible."""
+    from repro.perf.sweep import SweepPlan
+
+    plan = _PLANS.get(header.plan_key)
+    if plan is None:
+        context = _CONTEXTS.get(header.context_key)
+        if context is None:
+            decoded = loads_shared(header.context_payload)
+            rebuild = getattr(decoded, "rebuild_context", None)
+            context = rebuild() if rebuild is not None else decoded
+            _CONTEXTS[header.context_key] = context
+            while len(_CONTEXTS) > _MAX_CONTEXTS:
+                _CONTEXTS.popitem(last=False)
+        else:
+            _CONTEXTS.move_to_end(header.context_key)
+        params: _SweepParams = pickle.loads(header.sweep_blob)
+        plan = SweepPlan(
+            context,
+            params.scenarios,
+            params.optimal_time_limit_s,
+            params.optimal_compile,
+            params.ladder,
+            params.validate,
+            params.chaos_plan,
+        )
+        if params.shapes:
+            from repro.perf.compile import default_compiler
+
+            default_compiler().adopt_shapes(params.shapes)
+        _PLANS[header.plan_key] = plan
+        while len(_PLANS) > _MAX_PLANS:
+            _PLANS.popitem(last=False)
+    else:
+        _PLANS.move_to_end(header.plan_key)
+
+    if _CHAOS_KEY[0] != header.plan_key:
+        # Chaos must track the *current* sweep: install its plan, or
+        # clear a previous sweep's faults so they cannot leak forward.
+        if plan.chaos_plan is not None:
+            chaos.install(plan.chaos_plan)
+        else:
+            chaos.uninstall()
+        _CHAOS_KEY[0] = header.plan_key
+    return plan
+
+
+def _warm_run_task(header: WarmHeader, task: tuple[int, str]):
+    """Warm-pool twin of :func:`repro.perf.sweep._run_task`."""
+    from repro.perf.sweep import _task_rows
+
+    return _task_rows(_warm_plan(header), task)
+
+
+def _warm_run_chunk(header: WarmHeader, tasks: Sequence[tuple[int, str]]):
+    """Several tasks under one header decode (heuristic-only sweeps)."""
+    from repro.perf.sweep import _task_rows
+
+    plan = _warm_plan(header)
+    return [_task_rows(plan, task) for task in tasks]
+
+
+def _warm_run_chain(header: WarmHeader, segment):
+    """Warm-pool twin of :func:`repro.perf.sweep._run_chain_task`."""
+    from repro.perf.sweep import _chain_rows
+
+    return _chain_rows(_warm_plan(header), segment)
+
+
+# ----------------------------------------------------------------------
+# Default executor singleton
+# ----------------------------------------------------------------------
+_DEFAULT: SweepExecutor | None = None
+_DEFAULT_LOCK = threading.Lock()
+
+
+def get_default_executor(max_workers: int | None = None) -> SweepExecutor:
+    """The process-wide shared executor (created on first use).
+
+    ``max_workers`` only applies when the call creates the executor; a
+    live default keeps its original size.  Closed automatically at
+    interpreter exit, or explicitly via :func:`close_default_executor`.
+    """
+    global _DEFAULT
+    with _DEFAULT_LOCK:
+        if _DEFAULT is None or _DEFAULT.closed:
+            _DEFAULT = SweepExecutor(max_workers=max_workers)
+        return _DEFAULT
+
+
+def close_default_executor() -> None:
+    """Close and drop the default executor (idempotent)."""
+    global _DEFAULT
+    with _DEFAULT_LOCK:
+        if _DEFAULT is not None:
+            _DEFAULT.close()
+            _DEFAULT = None
+
+
+atexit.register(close_default_executor)
+
+
+# ----------------------------------------------------------------------
+# Campaigns: many sweeps over one warm executor
+# ----------------------------------------------------------------------
+def run_campaign(
+    context: object,
+    sweeps: Sequence[Sequence[object]],
+    algorithms: Sequence[str],
+    *,
+    executor: SweepExecutor | None = None,
+    incremental: bool = True,
+    reorder: bool = True,
+    **sweep_kwargs: object,
+) -> Iterator[tuple[int, list]]:
+    """Run several sweeps over one context, streaming results.
+
+    Yields ``(sweep_index, results)`` pairs as each sweep completes,
+    where ``sweep_index`` is the sweep's position in the caller's
+    ``sweeps`` sequence.  Execution order is chosen greedily by
+    failure-set similarity (minimum symmetric difference between
+    consecutive sweeps' failed-controller unions) so the warm workers'
+    caches, compiled shapes and per-segment ``WarmChain`` seeds carry
+    maximal overlap from one sweep into the next; ``reorder=False``
+    keeps caller order.  Each individual sweep's results are
+    bit-identical to a standalone ``parallel_sweep`` over the same
+    scenarios.
+
+    ``executor=None`` uses :func:`get_default_executor` (left open for
+    later campaigns); additional keyword arguments pass through to
+    :func:`~repro.perf.sweep.parallel_sweep`.
+    """
+    from repro.perf.incremental import hamming_chain
+    from repro.perf.sweep import parallel_sweep
+
+    sweeps = [tuple(s) for s in sweeps]
+    if executor is None:
+        executor = get_default_executor()
+    if reorder:
+        signatures = [
+            frozenset().union(*(frozenset(s.failed) for s in sweep))
+            if sweep
+            else frozenset()
+            for sweep in sweeps
+        ]
+        order = hamming_chain(signatures)
+    else:
+        order = list(range(len(sweeps)))
+    for index in order:
+        results = parallel_sweep(
+            context,
+            sweeps[index],
+            algorithms,
+            executor=executor,
+            incremental=incremental,
+            **sweep_kwargs,
+        )
+        yield index, results

@@ -284,6 +284,7 @@ def solve_pm_array(
     instance: FMSSMInstance,
     phase2_order: str = "paper",
     enforce_delay: bool = False,
+    phase2: bool = True,
 ) -> RecoverySolution:
     """Array kernel for ProgrammabilityMedic (Algorithm 1).
 
@@ -298,6 +299,9 @@ def solve_pm_array(
     bound is the same grouped capacity selection the dict route
     vectorizes; the strict variants stay sequential loops because the
     cumulative delay budget is order- and rounding-history-dependent.
+    ``phase2=False`` skips the saturation phase entirely (the ablation
+    variant), matching the dict route's ``ProgrammabilityMedic(...,
+    phase2=False)``.
     """
     if phase2_order not in ("paper", "greedy"):
         raise ValueError(f"phase2_order must be 'paper' or 'greedy': {phase2_order!r}")
@@ -431,7 +435,7 @@ def solve_pm_array(
                     ).tolist()
 
     # Phase 2 (lines 42-50): saturate leftover capacity on mapped switches.
-    if n_pairs:
+    if phase2 and n_pairs:
         if enforce_delay:
             if phase2_order == "greedy":
                 order = arrays.pbar_desc.tolist()
@@ -473,17 +477,20 @@ def solve_pm_array(
         if c >= 0
     }
     sdn_pairs = {pairs[k] for k in activated}
+    meta: dict[str, object] = {
+        "phase2_order": phase2_order,
+        "total_iterations": total_iterations,
+        "kernel": "array",
+    }
+    if not phase2:
+        meta["phase2"] = False
     return RecoverySolution(
         algorithm="pm",
         mapping=mapping,
         sdn_pairs=sdn_pairs,
         solve_time_s=time.perf_counter() - start,
         feasible=True,
-        meta={
-            "phase2_order": phase2_order,
-            "total_iterations": total_iterations,
-            "kernel": "array",
-        },
+        meta=meta,
     )
 
 

@@ -180,6 +180,10 @@ _HEAVY_ALGORITHMS = frozenset({"optimal", "optimal-two-stage", "retroflow-ip"})
 #: Below this many heuristic-only tasks, pool startup cannot pay off.
 _MIN_PARALLEL_TASKS = 64
 
+#: The warm-executor threshold is lower: there is no pool to start and
+#: (usually) no plan to decode, so fan-out pays off much earlier.
+_MIN_PARALLEL_TASKS_WARM = 16
+
 
 def _init_worker(payload: bytes) -> None:
     """Pool initializer (pickle route): unpickle the plan once per worker."""
@@ -264,11 +268,15 @@ _TaskResult = tuple[
 ]
 
 
-def _run_task(task: tuple[int, str]) -> _TaskResult:
-    """Worker body: solve + evaluate one (scenario index, algorithm) task."""
+def _task_rows(plan: SweepPlan, task: tuple[int, str]) -> _TaskResult:
+    """Solve + evaluate one (scenario index, algorithm) task of ``plan``.
+
+    Shared by the classic initializer-shipped workers (which read the
+    plan from :data:`_WORKER`) and the warm-executor workers (which
+    resolve it from their header caches).
+    """
     chaos.check("sweep.task")
     index, algorithm = task
-    plan = _WORKER["plan"]
     instance = plan.context.instance(plan.scenarios[index])
     prepare_instance(instance)
     solution, report = _solve(
@@ -285,10 +293,15 @@ def _run_task(task: tuple[int, str]) -> _TaskResult:
     ), _WORKER.get("init_s")
 
 
-def _run_chain_task(
-    segment: Sequence[tuple[int, tuple[str, ...]]],
+def _run_task(task: tuple[int, str]) -> _TaskResult:
+    """Worker body: solve + evaluate one task from the shipped plan."""
+    return _task_rows(_WORKER["plan"], task)
+
+
+def _chain_rows(
+    plan: SweepPlan, segment: Sequence[tuple[int, tuple[str, ...]]]
 ) -> list[_TaskResult]:
-    """Worker body for one incremental-chain segment.
+    """Run one incremental-chain segment of ``plan``.
 
     Walks the scenarios in chain order, threading one
     :class:`~repro.fmssm.optimal.WarmChain` through the ``optimal``
@@ -296,7 +309,6 @@ def _run_chain_task(
     and LP basis.  Every (scenario, algorithm) still passes the
     ``sweep.task`` chaos site individually, like independent tasks do.
     """
-    plan = _WORKER["plan"]
     warm_chain = WarmChain()
     out: list[_TaskResult] = []
     for index, algorithms in segment:
@@ -323,6 +335,13 @@ def _run_chain_task(
                 _WORKER.get("init_s"),
             ))
     return out
+
+
+def _run_chain_task(
+    segment: Sequence[tuple[int, tuple[str, ...]]],
+) -> list[_TaskResult]:
+    """Worker body: run one chain segment from the shipped plan."""
+    return _chain_rows(_WORKER["plan"], segment)
 
 
 class _SweepRunner:
@@ -689,6 +708,128 @@ class _SweepRunner:
             self._flush_checkpoint()
         return True
 
+    def _warm_header(self, executor) -> tuple[object, FanoutStats]:
+        """Encode this sweep for a warm executor (header + fan-out stats).
+
+        The heavy context payload comes from the executor's cache —
+        near-free on every sweep after the first over a context — and
+        only the light per-sweep parameters are serialized fresh.  The
+        ``sweep.payload`` chaos site applies to that fresh blob, like it
+        does to the cold routes' payloads.
+        """
+        from repro.perf import executor as executor_mod
+
+        start = time.perf_counter()
+        entry = executor.encode_context(
+            self.context, prefer_shm=self.transport != "pickle"
+        )
+        heavy = any(a in _HEAVY_ALGORITHMS for a in self.algorithms)
+        chaos_plan = chaos.active_plan()
+        blob = pickle.dumps(
+            executor_mod._SweepParams(
+                scenarios=self.scenarios,
+                optimal_time_limit_s=self.optimal_time_limit_s,
+                optimal_compile=self.optimal_compile,
+                ladder=self.ladder,
+                validate=self.validate,
+                chaos_plan=chaos_plan,
+                shapes=self._predict_shapes() if heavy else {},
+            ),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        blob = chaos.transform("sweep.payload", blob)
+        fingerprint = sweep_fingerprint(
+            [s.name for s in self.scenarios],
+            self.algorithms,
+            self.optimal_time_limit_s,
+            self.optimal_compile,
+        )
+        header = executor_mod.WarmHeader(
+            plan_key=executor.plan_key(
+                entry, fingerprint, blob, chaotic=chaos_plan is not None
+            ),
+            context_key=(executor.id, entry.generation),
+            context_payload=entry.payload,
+            sweep_blob=blob,
+        )
+        stats = FanoutStats(
+            transport="warm-shm" if entry.payload.segment is not None else "warm-pickle",
+            payload_bytes=entry.payload.inband_bytes + len(blob),
+            shared_bytes=entry.payload.shared_bytes,
+            encode_s=time.perf_counter() - start,
+        )
+        return header, stats
+
+    def run_warm(self, tasks: Sequence[tuple[int, str]], workers: int,
+                 executor) -> bool:
+        """Fan ``tasks`` over a warm executor; True when all completed.
+
+        Same contract as :meth:`run_pool` — False keeps every received
+        result and sends the caller to the serial path — plus executor
+        bookkeeping: a broken pool is flagged for transparent respawn on
+        the executor's next sweep, and the context's segment lease stays
+        with the executor (released on eviction or close, not here).
+        Heuristic-only sweeps chunk tasks round-robin so the header is
+        decoded once per chunk; heavy sweeps keep per-task submission
+        for dynamic load balancing.
+        """
+        from repro.perf import executor as executor_mod
+
+        try:
+            header, stats = self._warm_header(executor)
+        except Exception as exc:  # unpicklable context: stay serial
+            self._warn_fallback(f"sweep plan failed to encode ({exc!r})")
+            return False
+        self.fanout = stats
+        executor.stats["sweeps"] += 1
+        try:
+            pool = executor.pool()
+            if self.incremental:
+                chunked = True
+                futures = {
+                    pool.submit(executor_mod._warm_run_chain, header, segment)
+                    for segment in self.chain_plan(tasks, workers)
+                }
+            elif any(a in _HEAVY_ALGORITHMS for a in self.algorithms):
+                chunked = False
+                futures = {
+                    pool.submit(executor_mod._warm_run_task, header, task)
+                    for task in tasks
+                }
+            else:
+                chunked = True
+                # Contiguous scenario-major chunks: tasks are grouped by
+                # scenario, so each worker grounds only its own slice of
+                # the instances instead of every worker grounding all of
+                # them (as a round-robin split would).
+                size = -(-len(tasks) // workers)
+                chunks = [
+                    list(tasks[k * size:(k + 1) * size]) for k in range(workers)
+                ]
+                futures = {
+                    pool.submit(executor_mod._warm_run_chunk, header, chunk)
+                    for chunk in chunks
+                    if chunk
+                }
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    outcome = future.result()
+                    rows = outcome if chunked else [outcome]
+                    for row in rows:
+                        self._store(*row)
+        except (OSError, pickle.PickleError, BrokenProcessPool) as exc:
+            # A worker killed mid-task or a payload/result that refuses
+            # (un)pickling: keep what we have, finish serially, and let
+            # the executor respawn its pool lazily.
+            executor.mark_broken()
+            self._warn_fallback(f"warm process pool failed ({exc!r})")
+            return False
+        finally:
+            self._flush_checkpoint()
+        return True
+
     def _warn_fallback(self, cause: str) -> None:
         reason = f"{cause}; completing remaining tasks serially"
         self.record_mode(reason, degraded=True)
@@ -747,6 +888,7 @@ def parallel_sweep(
     checkpoint_every: int = 4,
     transport: str = "auto",
     incremental: bool = False,
+    executor: "SweepExecutor | None" = None,  # noqa: F821
 ) -> "list[ScenarioResult]":  # noqa: F821
     """Run ``scenarios`` × ``algorithms`` over a process pool.
 
@@ -779,6 +921,13 @@ def parallel_sweep(
     bit-identical to the defaults, and neither affects the checkpoint
     fingerprint — a sweep may resume under a different transport or
     chaining mode.
+
+    ``executor`` submits the sweep to a warm
+    :class:`~repro.perf.executor.SweepExecutor` instead of spawning a
+    fresh pool: workers persist across sweeps and cache the decoded
+    plan, so every sweep after the first over a context runs near the
+    pure-solve floor.  Results stay bit-identical; the executor's pool
+    failures degrade to the serial path exactly like fresh-pool ones.
     """
     import os
 
@@ -786,6 +935,8 @@ def parallel_sweep(
         raise ValueError(
             f"unknown transport {transport!r}; expected one of {_TRANSPORTS}"
         )
+    if executor is not None and executor.closed:
+        raise ValueError("executor is closed; create a new SweepExecutor")
     scenarios = tuple(scenarios)
     algorithms = tuple(algorithms)
 
@@ -820,7 +971,9 @@ def parallel_sweep(
         return runner.finish()
 
     if min_parallel_tasks is None:
-        min_parallel_tasks = _MIN_PARALLEL_TASKS
+        min_parallel_tasks = (
+            _MIN_PARALLEL_TASKS_WARM if executor is not None else _MIN_PARALLEL_TASKS
+        )
     heuristics_only = not any(a in _HEAVY_ALGORITHMS for a in algorithms)
     if max_workers is None:
         max_workers = os.cpu_count() or 1
@@ -835,6 +988,13 @@ def parallel_sweep(
     elif workers <= 1:
         runner.record_mode(f"serial: max_workers={max_workers} resolves to <= 1 worker")
         runner.run_serial(tasks)
+    elif executor is not None:
+        runner.record_mode(
+            f"warm-pool: executor {executor.id}, {workers} workers, "
+            f"{len(tasks)} tasks"
+        )
+        if not runner.run_warm(tasks, workers, executor):
+            runner.run_serial(runner.pending_tasks())
     else:
         runner.record_mode(f"pool: {workers} workers, {len(tasks)} tasks")
         if not runner.run_pool(tasks, workers):

@@ -91,6 +91,10 @@ class ProgrammabilityMedic:
         Skip activations that would exceed the ideal delay ``G``
         (Eq. 14).  Off by default, matching the paper's pseudo-code (see
         module notes); the strict variant is the "PM-strict" ablation.
+    phase2:
+        Run phase 2 (resource saturation).  ``False`` stops after the
+        balanced-recovery phase — the paper's design-consideration-3
+        ablation (least programmability unchanged, total drops).
     """
 
     def __init__(
@@ -98,12 +102,14 @@ class ProgrammabilityMedic:
         instance: FMSSMInstance,
         phase2_order: str = "paper",
         enforce_delay: bool = False,
+        phase2: bool = True,
     ) -> None:
         if phase2_order not in ("paper", "greedy"):
             raise ValueError(f"phase2_order must be 'paper' or 'greedy': {phase2_order!r}")
         self._instance = instance
         self._phase2_order = phase2_order
         self._enforce_delay = enforce_delay
+        self._phase2_enabled = phase2
         # Delay-ordered controller lists, hoisted out of _map_switch: the
         # instance is immutable, so the per-switch ascending-delay order
         # never changes between picks (or runs).
@@ -145,18 +151,22 @@ class ProgrammabilityMedic:
         self._total_delay_ms = 0.0
 
         self._phase1()
-        self._phase2()
+        if self._phase2_enabled:
+            self._phase2()
 
+        meta: dict[str, object] = {
+            "phase2_order": self._phase2_order,
+            "total_iterations": instance.total_iterations,
+        }
+        if not self._phase2_enabled:
+            meta["phase2"] = False
         return RecoverySolution(
             algorithm="pm",
             mapping=dict(self._mapping),
             sdn_pairs=set(self._sdn_pairs),
             solve_time_s=time.perf_counter() - start,
             feasible=True,
-            meta={
-                "phase2_order": self._phase2_order,
-                "total_iterations": instance.total_iterations,
-            },
+            meta=meta,
         )
 
     # ------------------------------------------------------------------
@@ -391,6 +401,7 @@ def solve_pm(
     phase2_order: str = "paper",
     enforce_delay: bool = False,
     kernel: str | None = None,
+    phase2: bool = True,
 ) -> RecoverySolution:
     """Run the PM heuristic on ``instance`` (convenience wrapper).
 
@@ -398,6 +409,8 @@ def solve_pm(
     :func:`repro.perf.kernels.solve_pm_array`) or ``"dict"`` — this
     class, kept as the pseudo-code-shaped equivalence reference.  Both
     produce bit-identical solutions (``tests/test_perf_kernels.py``).
+    ``phase2=False`` stops after balanced recovery (the phase-2
+    ablation), on either kernel.
     """
     from repro.perf.kernels import resolve_kernel
 
@@ -405,8 +418,14 @@ def solve_pm(
         from repro.perf.kernels import solve_pm_array
 
         return solve_pm_array(
-            instance, phase2_order=phase2_order, enforce_delay=enforce_delay
+            instance,
+            phase2_order=phase2_order,
+            enforce_delay=enforce_delay,
+            phase2=phase2,
         )
     return ProgrammabilityMedic(
-        instance, phase2_order=phase2_order, enforce_delay=enforce_delay
+        instance,
+        phase2_order=phase2_order,
+        enforce_delay=enforce_delay,
+        phase2=phase2,
     ).run()

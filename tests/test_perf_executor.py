@@ -1,0 +1,410 @@
+"""Warm-executor tests: persistent pools must change nothing but speed.
+
+Every sweep through a :class:`~repro.perf.executor.SweepExecutor` —
+first (cold workers), repeated (warm workers, cached plan), resumed from
+a checkpoint, or degraded by chaos — must produce results bit-identical
+to the serial sweep.  The executor additionally owns every shared-memory
+lease it creates: tests assert the segment registry is empty after
+``close()``, whatever happened in between.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from test_perf_parallel_sweep import assert_sweeps_identical
+
+from repro.control.failures import FailureScenario
+from repro.exceptions import ChaosError, DegradedResultWarning
+from repro.experiments.runner import run_failure_sweep, run_failure_sweep_parallel
+from repro.experiments.scenarios import custom_context
+from repro.perf import shm
+from repro.perf.executor import (
+    SweepExecutor,
+    close_default_executor,
+    get_default_executor,
+    run_campaign,
+)
+from repro.perf.sweep import parallel_sweep
+from repro.resilience import chaos
+from repro.topology.generators import ring_topology
+
+#: Heuristics only — exact solves appear in the dedicated routes below.
+FAST_ALGORITHMS = ("pm", "retroflow", "pg", "nearest")
+
+CONTROLLERS = (0, 3, 7)
+
+
+@pytest.fixture(scope="module")
+def ring_context():
+    return custom_context(
+        ring_topology(10, chords=5, seed=7),
+        controller_sites=CONTROLLERS,
+        capacity=160,
+    )
+
+
+@pytest.fixture(scope="module")
+def ring_scenarios():
+    return tuple(FailureScenario(frozenset({c})) for c in CONTROLLERS)
+
+
+@pytest.fixture(scope="module")
+def ring_serial(ring_context, ring_scenarios):
+    return parallel_sweep(ring_context, ring_scenarios, FAST_ALGORITHMS)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaks():
+    """Every test must leave the segment registry empty."""
+    yield
+    close_default_executor()
+    leaked = shm.active_segments()
+    shm.release_all()
+    assert leaked == (), f"leaked shared-memory segments: {leaked}"
+
+
+class TestWarmEquivalence:
+    def test_repeated_warm_sweeps_bit_identical(
+        self, ring_context, ring_scenarios, ring_serial
+    ):
+        """Three sweeps on one executor: cold, warm, warm — all identical."""
+        with SweepExecutor(max_workers=2) as executor:
+            for _ in range(3):
+                warm = parallel_sweep(
+                    ring_context, ring_scenarios, FAST_ALGORITHMS,
+                    max_workers=2, min_parallel_tasks=0, executor=executor,
+                )
+                assert_sweeps_identical(ring_serial, warm)
+            assert executor.stats["sweeps"] == 3
+            assert executor.stats["encode_misses"] == 1
+            assert executor.stats["encode_hits"] == 2
+            assert executor.stats["respawns"] == 0
+
+    def test_att_warm_equals_serial(self, att_context):
+        serial = run_failure_sweep(att_context, 1, FAST_ALGORITHMS)
+        with SweepExecutor(max_workers=4) as executor:
+            warm = run_failure_sweep_parallel(
+                att_context, 1, FAST_ALGORITHMS, max_workers=4, executor=executor,
+            )
+        assert_sweeps_identical(serial, warm)
+
+    def test_warm_incremental_route(self, ring_context, ring_scenarios, ring_serial):
+        with SweepExecutor(max_workers=2) as executor:
+            warm = parallel_sweep(
+                ring_context, ring_scenarios, FAST_ALGORITHMS,
+                max_workers=2, min_parallel_tasks=0, incremental=True,
+                executor=executor,
+            )
+        assert_sweeps_identical(ring_serial, warm)
+
+    def test_warm_heavy_route(self, ring_context, ring_scenarios):
+        """Exact solves go through the per-task warm route unchanged."""
+        algorithms = ("optimal", "pm")
+        serial = parallel_sweep(
+            ring_context, ring_scenarios, algorithms, optimal_time_limit_s=60.0,
+        )
+        with SweepExecutor(max_workers=2) as executor:
+            warm = parallel_sweep(
+                ring_context, ring_scenarios, algorithms,
+                optimal_time_limit_s=60.0, max_workers=2,
+                min_parallel_tasks=0, executor=executor,
+            )
+        assert_sweeps_identical(serial, warm)
+
+    def test_closed_executor_is_rejected(self, ring_context, ring_scenarios):
+        executor = SweepExecutor(max_workers=2)
+        executor.close()
+        with pytest.raises(ValueError, match="closed"):
+            parallel_sweep(
+                ring_context, ring_scenarios, FAST_ALGORITHMS, executor=executor,
+            )
+
+    def test_pickle_transport_warm(self, ring_context, ring_scenarios, ring_serial):
+        """``transport="pickle"`` disables shm but not the warm caches."""
+        with SweepExecutor(max_workers=2) as executor:
+            for _ in range(2):
+                warm = parallel_sweep(
+                    ring_context, ring_scenarios, FAST_ALGORITHMS,
+                    max_workers=2, min_parallel_tasks=0, transport="pickle",
+                    executor=executor,
+                )
+                assert_sweeps_identical(ring_serial, warm)
+            assert shm.active_segments() == ()
+            assert executor.stats["encode_hits"] == 1
+
+
+@pytest.fixture
+def property_executor():
+    # Function-scoped on purpose: hypothesis instantiates it once and
+    # reuses it across every drawn example, so consecutive examples
+    # exercise cross-sweep cache reuse — and it closes before the
+    # autouse leak check runs.
+    with SweepExecutor(max_workers=2) as executor:
+        yield executor
+
+
+class TestWarmProperty:
+    @settings(
+        max_examples=5,
+        deadline=None,
+        suppress_health_check=[
+            HealthCheck.too_slow,
+            HealthCheck.function_scoped_fixture,
+        ],
+    )
+    @given(
+        failed=st.lists(
+            st.sampled_from(CONTROLLERS), min_size=1, max_size=2, unique=True
+        ),
+        algorithms=st.permutations(FAST_ALGORITHMS),
+    )
+    def test_any_sweep_warm_equals_serial(
+        self, ring_context, property_executor, failed, algorithms
+    ):
+        """Arbitrary scenario subsets and algorithm orders, one shared
+        executor across all examples — warm results always match serial."""
+        scenarios = tuple(FailureScenario(frozenset({c})) for c in sorted(failed))
+        algorithms = tuple(algorithms)
+        serial = parallel_sweep(ring_context, scenarios, algorithms)
+        warm = parallel_sweep(
+            ring_context, scenarios, algorithms,
+            max_workers=2, min_parallel_tasks=0, executor=property_executor,
+        )
+        assert_sweeps_identical(serial, warm)
+
+
+class TestInvalidation:
+    def test_new_context_gets_new_generation(self, ring_context, ring_scenarios):
+        """A different context never reuses another's worker cache."""
+        other_context = custom_context(
+            ring_topology(10, chords=5, seed=11),
+            controller_sites=CONTROLLERS,
+            capacity=240,
+        )
+        serial_a = parallel_sweep(ring_context, ring_scenarios, FAST_ALGORITHMS)
+        serial_b = parallel_sweep(other_context, ring_scenarios, FAST_ALGORITHMS)
+        with SweepExecutor(max_workers=2) as executor:
+            for context, serial in (
+                (ring_context, serial_a),
+                (other_context, serial_b),
+                (ring_context, serial_a),
+            ):
+                warm = parallel_sweep(
+                    context, ring_scenarios, FAST_ALGORITHMS,
+                    max_workers=2, min_parallel_tasks=0, executor=executor,
+                )
+                assert_sweeps_identical(serial, warm)
+            # Both contexts cached; the third sweep hit the first entry.
+            assert executor.stats["encode_misses"] == 2
+            assert executor.stats["encode_hits"] == 1
+
+    def test_table_swap_invalidates_encoded_context(self):
+        """Swapping a context's table object forces a fresh generation.
+
+        The staleness guard is table *identity*: re-materializing returns
+        the model's cached table (a hit), but any new table object — as a
+        re-grounded or mutated context would carry — must re-encode.
+        """
+        import copy
+
+        context = custom_context(
+            ring_topology(8, chords=3, seed=3),
+            controller_sites=(0, 4),
+            capacity=120,
+        )
+        with SweepExecutor(max_workers=1) as executor:
+            first = executor.encode_context(context)
+            again = executor.encode_context(context)
+            assert again is first
+            context._table = copy.copy(context.materialize_table())
+            fresh = executor.encode_context(context)
+            assert fresh is not first
+            assert fresh.generation > first.generation
+            assert first.lease is None  # released on invalidation
+            assert executor.stats["encode_misses"] == 2
+            assert executor.stats["encode_hits"] == 1
+
+
+class TestCheckpointResume:
+    def test_resume_through_warm_executor(
+        self, ring_context, ring_scenarios, ring_serial, tmp_path
+    ):
+        """An interrupted warm sweep resumes on the same executor."""
+        path = tmp_path / "warm-checkpoint.json"
+        with SweepExecutor(max_workers=1) as executor:
+            with chaos.inject(
+                chaos.Fault("sweep.checkpoint", "raise-error", at_call=2)
+            ):
+                with pytest.raises(ChaosError):
+                    parallel_sweep(
+                        ring_context, ring_scenarios, FAST_ALGORITHMS,
+                        max_workers=1, min_parallel_tasks=0, executor=executor,
+                        checkpoint_path=path, checkpoint_every=1,
+                    )
+            assert path.exists()
+            resumed = parallel_sweep(
+                ring_context, ring_scenarios, FAST_ALGORITHMS,
+                max_workers=1, min_parallel_tasks=0, executor=executor,
+                checkpoint_path=path, checkpoint_every=1,
+            )
+        assert_sweeps_identical(ring_serial, resumed)
+        restored = [
+            r for r in resumed
+            if any(e.action == "restore" for e in r.degradation.events)
+        ]
+        assert restored, "resume must restore the checkpointed scenarios"
+        assert not path.exists()
+
+
+class TestLeaseLifecycle:
+    def test_repeated_sweeps_hold_one_lease_until_close(
+        self, ring_context, ring_scenarios, ring_serial
+    ):
+        """The executor pins exactly one segment per cached context and
+        releases it on close — never mid-sweep, never late."""
+        if not shm.shm_available():
+            pytest.skip("platform without POSIX shared memory")
+        executor = SweepExecutor(max_workers=2)
+        try:
+            for _ in range(3):
+                warm = parallel_sweep(
+                    ring_context, ring_scenarios, FAST_ALGORITHMS,
+                    max_workers=2, min_parallel_tasks=0, executor=executor,
+                )
+                assert_sweeps_identical(ring_serial, warm)
+                assert len(shm.active_segments()) == 1
+        finally:
+            executor.close()
+        assert shm.active_segments() == ()
+        executor.close()  # idempotent
+
+    def test_eviction_releases_lease(self, ring_context):
+        if not shm.shm_available():
+            pytest.skip("platform without POSIX shared memory")
+        other = custom_context(
+            ring_topology(8, chords=3, seed=5),
+            controller_sites=(0, 4),
+            capacity=120,
+        )
+        with SweepExecutor(max_workers=1, max_cached_contexts=1) as executor:
+            executor.encode_context(ring_context)
+            assert len(shm.active_segments()) == 1
+            executor.encode_context(other)  # evicts (and releases) the first
+            assert len(shm.active_segments()) == 1
+        assert shm.active_segments() == ()
+
+    def test_kill_worker_degrades_then_respawns_without_leaks(
+        self, ring_context, ring_scenarios, ring_serial
+    ):
+        """A killed worker breaks the pool: the sweep keeps its completed
+        results and finishes serially; the *next* sweep respawns the pool
+        transparently; no segment outlives the executor."""
+        executor = SweepExecutor(max_workers=2)
+        try:
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                with chaos.inject(
+                    chaos.Fault("sweep.task", "kill-worker", at_call=1)
+                ):
+                    degraded = parallel_sweep(
+                        ring_context, ring_scenarios, FAST_ALGORITHMS,
+                        max_workers=2, min_parallel_tasks=0, executor=executor,
+                    )
+            assert_sweeps_identical(ring_serial, degraded)
+            assert any(
+                issubclass(w.category, DegradedResultWarning) for w in caught
+            ), "serial fallback must warn, not be silent"
+            healthy = parallel_sweep(
+                ring_context, ring_scenarios, FAST_ALGORITHMS,
+                max_workers=2, min_parallel_tasks=0, executor=executor,
+            )
+            assert_sweeps_identical(ring_serial, healthy)
+            assert executor.stats["respawns"] == 1
+        finally:
+            executor.close()
+        assert shm.active_segments() == ()
+
+
+class TestDefaultExecutor:
+    def test_singleton_lifecycle(self):
+        first = get_default_executor(max_workers=2)
+        assert get_default_executor() is first
+        close_default_executor()
+        assert first.closed
+        fresh = get_default_executor(max_workers=2)
+        assert fresh is not first
+        close_default_executor()
+        assert fresh.closed
+
+
+class TestCampaign:
+    def test_campaign_streams_every_sweep_bit_identically(
+        self, ring_context, ring_scenarios
+    ):
+        sweeps = [
+            ring_scenarios[:2],
+            ring_scenarios[1:],
+            (ring_scenarios[0],),
+        ]
+        references = [
+            parallel_sweep(ring_context, sweep, FAST_ALGORITHMS)
+            for sweep in sweeps
+        ]
+        with SweepExecutor(max_workers=2) as executor:
+            collected = dict(
+                run_campaign(
+                    ring_context, sweeps, FAST_ALGORITHMS,
+                    executor=executor, max_workers=2, min_parallel_tasks=0,
+                )
+            )
+            assert sorted(collected) == [0, 1, 2]
+            for index, reference in enumerate(references):
+                assert_sweeps_identical(reference, collected[index])
+            assert executor.stats["sweeps"] == 3
+            assert executor.stats["encode_hits"] == 2
+
+    def test_campaign_default_executor_and_caller_order(
+        self, ring_context, ring_scenarios
+    ):
+        sweeps = [(ring_scenarios[0],), (ring_scenarios[2],)]
+        indices = []
+        for index, results in run_campaign(
+            ring_context, sweeps, ("pm",), reorder=False,
+        ):
+            indices.append(index)
+            assert [r.name for r in results] == [s.name for s in sweeps[index]]
+        assert indices == [0, 1]
+        close_default_executor()
+
+
+class TestArrayKernelPorts:
+    """The satellite kernel ports: array routes equal their dict references."""
+
+    def test_retroflow_ip_kernels_agree(self, small_instance):
+        from repro.baselines.retroflow import solve_retroflow_ip
+
+        array = solve_retroflow_ip(small_instance, time_limit_s=30.0)
+        dict_ = solve_retroflow_ip(small_instance, time_limit_s=30.0, kernel="dict")
+        assert array.mapping == dict_.mapping
+        assert array.sdn_pairs == dict_.sdn_pairs
+        assert array.load_override == dict_.load_override
+        assert array.feasible and dict_.feasible
+
+    def test_pm_phase1_only_kernels_agree(self, att_instance_13_20):
+        from repro.pm.algorithm import solve_pm
+
+        array = solve_pm(att_instance_13_20, phase2=False)
+        dict_ = solve_pm(att_instance_13_20, phase2=False, kernel="dict")
+        assert array.mapping == dict_.mapping
+        assert array.sdn_pairs == dict_.sdn_pairs
+        assert array.pair_controller == dict_.pair_controller
+        assert array.meta.get("phase2") is False
+        assert dict_.meta.get("phase2") is False
+        full = solve_pm(att_instance_13_20)
+        assert "phase2" not in full.meta
+        assert array.sdn_pairs <= full.sdn_pairs
