@@ -24,6 +24,14 @@ keeps ``BENCH_headline.json`` fresh and well-formed.  Timed stages:
   the first sweep pays the pool spawn + context encode once, the second
   rides warm workers and cached plans (CI guards
   ``sweep_reuse_s <= sweep_shm_s / 5`` within the same run),
+* ``sweep_supervised_s`` — the identical warm sweep under a fault-free
+  :class:`~repro.resilience.supervisor.SweepSupervisor`: the watchdog /
+  breaker / ledger bookkeeping must stay within a few percent of
+  ``sweep_reuse_s`` (``check_headline.py`` enforces the same-run bound),
+* ``sweep_quarantine_s`` — the ATT one-failure sweep under kill-worker
+  chaos with a zero-retry supervisor: every scenario is quarantined to
+  the parent-serial ladder and the quarantine count lands in the
+  headline's ``degraded_solves`` section (CI asserts it is non-zero),
 * ``campaign_figures_s`` — the ATT 1+2+3-failure figure sweeps chained
   through :func:`~repro.perf.executor.run_campaign` on one warm
   executor,
@@ -138,7 +146,7 @@ def test_vectorized_kernels(context, capsys):
     from repro.baselines.retroflow import solve_retroflow
     from repro.control.failures import enumerate_failure_scenarios
     from repro.fmssm.evaluation import evaluate_batch, evaluate_solution
-    from repro.perf.kernels import prepare_instance
+    from repro.perf.kernels import dict_kernel_reference, prepare_instance
 
     instances = [
         context.instance(scenario)
@@ -151,7 +159,8 @@ def test_vectorized_kernels(context, capsys):
     rows = []
     for stage, solver in (("pm_kernel_s", solve_pm), ("pg_kernel_s", solve_pg)):
         array_s, _ = _best_of(3, lambda: [solver(i, kernel="array") for i in instances])
-        dict_s, _ = _best_of(3, lambda: [solver(i, kernel="dict") for i in instances])
+        with dict_kernel_reference():
+            dict_s, _ = _best_of(3, lambda: [solver(i, kernel="dict") for i in instances])
         record_stage(stage, array_s)
         assert array_s < dict_s
         rows.append(
@@ -330,6 +339,7 @@ def test_sweep_executor_reuse(waxman40_context, capsys):
     """
     from repro.perf.executor import SweepExecutor
     from repro.perf.sweep import parallel_sweep
+    from repro.resilience.supervisor import SweepSupervisor
 
     scenarios = _failure_scenarios(waxman40_context, (1, 2, 3))
     reference = parallel_sweep(
@@ -356,8 +366,27 @@ def test_sweep_executor_reuse(waxman40_context, capsys):
         record_sweep("sweep_reuse_s", reuse_s, second)
         assert executor.stats["encode_hits"] == 3
 
+        # The identical warm sweep under a fault-free supervisor: same
+        # answers, and the watchdog/breaker/ledger bookkeeping must not
+        # meaningfully tax the steady state (design target <= 5%;
+        # check_headline.py enforces a jitter-tolerant same-run bound).
+        supervisor = SweepSupervisor()
+        supervised_s, supervised = _best_of(
+            3,
+            lambda: parallel_sweep(
+                waxman40_context, scenarios, FAST_ALGORITHMS,
+                max_workers=4, min_parallel_tasks=0,
+                executor=executor, supervisor=supervisor,
+            ),
+        )
+        record_sweep("sweep_supervised_s", supervised_s, supervised)
+        assert supervisor.stats["preemptions"] == 0
+        assert supervisor.stats["pool_crashes"] == 0
+        assert supervisor.stats["quarantined"] == 0
+
     assert_sweeps_identical(reference, first)
     assert_sweeps_identical(reference, second)
+    assert_sweeps_identical(reference, supervised)
     with capsys.disabled():
         print()
         print("=== Warm-executor sweep reuse (25 scenarios, heuristics) ===")
@@ -367,7 +396,73 @@ def test_sweep_executor_reuse(waxman40_context, capsys):
                 [
                     ("first (cold workers)", f"{warmup_s:.3f}"),
                     ("second (warm)", f"{reuse_s:.3f}"),
+                    (
+                        "supervised (warm, fault-free)",
+                        f"{supervised_s:.3f}  ({supervised_s / reuse_s:.2f}x)",
+                    ),
                 ],
+            )
+        )
+
+
+def test_sweep_supervised_quarantine(context, capsys):
+    """Kill-worker chaos: every scenario quarantines, answers unchanged.
+
+    A zero-retry supervisor under a ``kill-worker`` plan routes the
+    whole ATT one-failure sweep through the parent-serial quarantine
+    path.  The stage exists so the headline's ``degraded_solves``
+    section visibly attributes quarantined scenarios —
+    ``check_headline.py`` fails when this stage reports zero.
+    """
+    import warnings
+
+    from repro.control.failures import enumerate_failure_scenarios
+    from repro.exceptions import DegradedResultWarning
+    from repro.perf.executor import SweepExecutor
+    from repro.perf.sweep import parallel_sweep
+    from repro.resilience import chaos
+    from repro.resilience.chaos import ChaosPlan, Fault
+    from repro.resilience.supervisor import SupervisorPolicy, SweepSupervisor
+
+    scenarios = tuple(enumerate_failure_scenarios(context.plane, 1))
+    reference = parallel_sweep(context, scenarios, FAST_ALGORITHMS, max_workers=1)
+    supervisor = SweepSupervisor(
+        SupervisorPolicy(max_task_retries=0, max_pool_restarts=10)
+    )
+    chaos.install(
+        ChaosPlan((Fault("sweep.task", "kill-worker", at_call=1, count=None),))
+    )
+    try:
+        with SweepExecutor(max_workers=4) as executor:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DegradedResultWarning)
+                start = time.perf_counter()
+                results = parallel_sweep(
+                    context, scenarios, FAST_ALGORITHMS,
+                    max_workers=4, min_parallel_tasks=0,
+                    executor=executor, supervisor=supervisor,
+                )
+                quarantine_s = time.perf_counter() - start
+    finally:
+        chaos.uninstall()
+    record_sweep("sweep_quarantine_s", quarantine_s, results)
+
+    assert_sweeps_identical(reference, results)
+    assert supervisor.stats["quarantined"] == len(scenarios)
+    assert all(
+        r.meta.get("supervisor", {}).get("quarantined") for r in results
+    )
+    with capsys.disabled():
+        print()
+        print("=== Supervised quarantine under kill-worker chaos (ATT, 1 failure) ===")
+        print(
+            render_table(
+                ("stage", "wall (s)", "quarantined"),
+                [(
+                    "sweep_quarantine_s",
+                    f"{quarantine_s:.3f}",
+                    f"{supervisor.stats['quarantined']}/{len(scenarios)}",
+                )],
             )
         )
 

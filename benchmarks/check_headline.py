@@ -26,6 +26,15 @@ Rules
   warm :class:`~repro.perf.executor.SweepExecutor`) must be at most
   ``sweep_shm_s / 5`` — the whole point of the persistent pool is that
   repeat sweeps stop paying the fan-out bill.
+* Fault-free supervision is likewise a same-run invariant:
+  ``sweep_supervised_s`` (the identical warm sweep under a
+  :class:`~repro.resilience.supervisor.SweepSupervisor`) must stay
+  within ``SUPERVISED_OVERHEAD`` of ``sweep_reuse_s`` — the watchdog,
+  breakers and retry ledger are bookkeeping, not a second sweep.
+* When the kill-worker chaos stage ran (``sweep_quarantine_s``), its
+  ``degraded_solves`` entry must be non-zero: quarantined scenarios
+  that vanish from the headline are the silent-degradation blindspot
+  the section exists to close.
 * The ``fanout`` section (payload *bytes*, deliberately excluded from
   the seconds comparison — byte counts are deterministic, so they get
   no tolerance) fails when the shared-memory route's per-worker in-band
@@ -153,6 +162,59 @@ def compare_fanout(
 #: The warm second sweep must beat the cold shm fan-out by this factor.
 REUSE_SPEEDUP = 5.0
 
+#: Same-run ceiling on the fault-free supervisor tax over plain warm
+#: reuse.  The design target is <= 5% (both stages are best-of-three on
+#: the same executor in the same process), but shared CI runners jitter
+#: short stages well past that, so the guard only catches the failure
+#: mode that matters: the watchdog/ledger bookkeeping growing from
+#: "a few percent" to "a constant factor".
+SUPERVISED_OVERHEAD = 1.25
+
+
+def compare_supervised_overhead(
+    current: dict[str, float], factor: float = SUPERVISED_OVERHEAD
+) -> list[str]:
+    """Failure messages when fault-free supervision stopped being free.
+
+    ``sweep_supervised_s`` and ``sweep_reuse_s`` time the *identical*
+    warm sweep in the same run, so like the reuse guard this is a
+    same-run invariant immune to runner speed.  Runs predating the
+    supervisor pass vacuously.
+    """
+    supervised_s = current.get("sweep_supervised_s")
+    reuse_s = current.get("sweep_reuse_s")
+    if supervised_s is None or reuse_s is None:
+        return []
+    if supervised_s > factor * reuse_s:
+        return [
+            f"sweep_supervised_s: {supervised_s:.4f}s exceeds {factor:g}x the "
+            f"same run's unsupervised sweep_reuse_s {reuse_s:.4f}s — the "
+            f"fault-free supervisor overhead has regressed past its <=5% "
+            f"design target"
+        ]
+    return []
+
+
+def compare_quarantine_visibility(
+    stages: dict[str, float], degraded: dict[str, int]
+) -> list[str]:
+    """Failure messages when the chaos stage's quarantines went dark.
+
+    The kill-worker benchmark quarantines every scenario by design; its
+    ``degraded_solves`` entry reading zero means the supervisor stopped
+    attributing quarantined scenarios to the headline — exactly the
+    silent-degradation blindspot the section exists to close.
+    """
+    if "sweep_quarantine_s" not in stages:
+        return []
+    if not degraded.get("sweep_quarantine_s"):
+        return [
+            "sweep_quarantine_s: the kill-worker chaos stage ran but "
+            "degraded_solves attributes no quarantined scenarios to it — "
+            "supervisor quarantine reporting is broken"
+        ]
+    return []
+
 
 def compare_executor_reuse(
     current: dict[str, float], speedup: float = REUSE_SPEEDUP
@@ -214,10 +276,12 @@ def main(argv: list[str] | None = None) -> int:
     baseline = load_stages(args.baseline)
     failures = compare(current, baseline, args.tolerance, args.floor_s)
     failures += compare_executor_reuse(current)
+    failures += compare_supervised_overhead(current)
     cur_degraded = load_degraded(args.current)
     failures += compare_degraded(
         cur_degraded, load_degraded(args.baseline), args.degraded_slack
     )
+    failures += compare_quarantine_visibility(current, cur_degraded)
     cur_fanout = load_fanout(args.current)
     failures += compare_fanout(cur_fanout, load_fanout(args.baseline))
     if cur_fanout:

@@ -50,10 +50,18 @@ def record_stage(name: str, seconds: float) -> None:
 
 def record_sweep(name: str, seconds: float, results) -> None:
     """Record a sweep's wall clock, per-algorithm solve time, and how
-    many of its solves degraded to a fallback path."""
+    many of its solves degraded to a fallback path.
+
+    A scenario the supervisor quarantined to the parent-serial ladder
+    (``meta["supervisor"]["quarantined"]``) counts as one degraded solve
+    even when the ladder itself never demoted: quarantine is a fallback
+    route, and hiding it would let a chaos stage read as a clean run.
+    """
     record_stage(name, seconds)
     degraded = 0
     for result in results:
+        if result.meta.get("supervisor", {}).get("quarantined"):
+            degraded += 1
         for algorithm, solution in result.solutions.items():
             _ALGORITHM_SOLVE_S[algorithm] = (
                 _ALGORITHM_SOLVE_S.get(algorithm, 0.0) + solution.solve_time_s

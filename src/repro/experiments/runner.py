@@ -138,6 +138,7 @@ def run_failure_sweep_parallel(
     transport: str = "auto",
     incremental: bool = False,
     executor: object = None,
+    supervisor: object = None,
 ) -> list[ScenarioResult]:
     """:func:`run_failure_sweep` fanned over a process pool.
 
@@ -161,7 +162,10 @@ def run_failure_sweep_parallel(
     bit-identical results; see ``docs/performance.md``.  ``executor``
     submits to a warm :class:`~repro.perf.executor.SweepExecutor`
     instead of spawning a fresh pool — the right choice when several
-    sweeps run back to back over one context.
+    sweeps run back to back over one context.  ``supervisor`` threads a
+    :class:`~repro.resilience.supervisor.SweepSupervisor` through the
+    warm route (deadlines, quarantine, circuit breakers); see
+    ``docs/robustness.md``.
     """
     from repro.perf.sweep import parallel_sweep
 
@@ -180,4 +184,5 @@ def run_failure_sweep_parallel(
         transport=transport,
         incremental=incremental,
         executor=executor,
+        supervisor=supervisor,
     )

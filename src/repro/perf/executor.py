@@ -49,7 +49,12 @@ Lifecycle
 executor, greedily ordering them by failure-set similarity so
 consecutive sweeps maximize incremental (:class:`~repro.fmssm.optimal.
 WarmChain`) and cache reuse, and streams each sweep's results as it
-completes.
+completes.  ``checkpoint_dir=`` adds a crash-only write-ahead journal
+(:class:`~repro.resilience.checkpoint.CampaignJournal`) for bit-exact
+resume after a hard kill, and ``supervisor=`` threads a
+:class:`~repro.resilience.supervisor.SweepSupervisor` (hung-task
+preemption via :meth:`SweepExecutor.preempt`, poison-scenario
+quarantine, circuit breakers) through every sweep.
 """
 
 from __future__ import annotations
@@ -81,6 +86,7 @@ __all__ = [
     "get_default_executor",
     "close_default_executor",
     "run_campaign",
+    "campaign_summary",
 ]
 
 
@@ -176,12 +182,14 @@ class SweepExecutor:
         self._contexts: OrderedDict[int, _ContextEntry] = OrderedDict()
         self._generations = itertools.count(1)
         self._chaos_nonces = itertools.count(1)
-        #: Observability counters (sweeps, encode hits/misses, respawns).
+        #: Observability counters (sweeps, encode hits/misses, respawns,
+        #: supervisor preemptions).
         self.stats: dict[str, int] = {
             "sweeps": 0,
             "encode_hits": 0,
             "encode_misses": 0,
             "respawns": 0,
+            "preempts": 0,
         }
 
     # -- lifecycle -----------------------------------------------------
@@ -226,6 +234,10 @@ class SweepExecutor:
             self._pool = None
         if self._pool is None:
             respawn = self._broken
+            if respawn:
+                # A host that cannot fork replacements is itself a fault
+                # the supervisor must survive — injectable here.
+                chaos.check("executor.respawn")
             self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
             self._broken = False
             if respawn:
@@ -235,6 +247,31 @@ class SweepExecutor:
     def mark_broken(self) -> None:
         """Flag the pool for respawn on the next :meth:`pool` call."""
         self._broken = True
+
+    def preempt(self) -> int:
+        """Hard-kill the live pool (hung-worker preemption); returns the
+        number of worker processes signalled.
+
+        Unlike :meth:`mark_broken` — which lets in-flight work drain —
+        this terminates the workers outright, so a task wedged inside a
+        solver cannot stall the sweep past its deadline.  The pool is
+        torn down and flagged broken; the next :meth:`pool` call
+        respawns it.  Queued futures fail with ``BrokenProcessPool``;
+        the supervised runner discards and requeues them.  Cached
+        context payloads (and their segment leases) are untouched, so
+        the respawned pool re-warms from the same artifacts.
+        """
+        self._require_open()
+        if self._pool is None:
+            return 0
+        processes = list(getattr(self._pool, "_processes", {}).values())
+        for process in processes:
+            process.terminate()
+        self._pool.shutdown(wait=True, cancel_futures=True)
+        self._pool = None
+        self._broken = True
+        self.stats["preempts"] += 1
+        return len(processes)
 
     # -- context encoding ----------------------------------------------
     def encode_context(self, context: object, prefer_shm: bool = True) -> _ContextEntry:
@@ -350,6 +387,39 @@ _MAX_PLANS = 8
 #: Plan key whose chaos plan is currently installed (or None).
 _CHAOS_KEY: list[str | None] = [None]
 
+#: Lifetime eviction counts of this worker's layered caches — the
+#: telemetry that tells a campaign its working set outgrew the LRUs
+#: (every eviction is a future re-decode).  Snapshotted onto each warm
+#: task's result row; the parent folds per-layer maxima into
+#: ``FanoutStats.evictions``.
+_EVICTIONS: dict[str, int] = {"context": 0, "plan": 0, "chaos_nonce": 0}
+
+
+def worker_cache_stats() -> dict[str, dict[str, int]]:
+    """This worker's cache telemetry (rides each warm result row)."""
+    return {"evictions": dict(_EVICTIONS)}
+
+
+def _sync_chaos(plan_key: str, chaos_plan) -> None:
+    """Track the *current* sweep's chaos plan: install it, or clear a
+    previous sweep's faults so they cannot leak forward.
+
+    Runs **before** the context/plan decode on cache-cold paths, so the
+    ``executor.decode_context``/``executor.plan_build`` sites fire under
+    the incoming sweep's plan.  The single-slot key is sticky across a
+    failed decode: a requeued task under the same plan key keeps its
+    counters, exactly like a retried call in one process should.
+    """
+    if _CHAOS_KEY[0] == plan_key:
+        return
+    if _CHAOS_KEY[0] is not None:
+        _EVICTIONS["chaos_nonce"] += 1
+    if chaos_plan is not None:
+        chaos.install(chaos_plan)
+    else:
+        chaos.uninstall()
+    _CHAOS_KEY[0] = plan_key
+
 
 def _warm_plan(header: WarmHeader):
     """The worker's plan for ``header``, decoding as little as possible."""
@@ -357,17 +427,24 @@ def _warm_plan(header: WarmHeader):
 
     plan = _PLANS.get(header.plan_key)
     if plan is None:
+        # The light per-sweep blob decodes first so the sweep's chaos
+        # plan is live before the heavy layers are touched — the decode
+        # sites below must be injectable on a fresh worker.
+        params: _SweepParams = pickle.loads(header.sweep_blob)
+        _sync_chaos(header.plan_key, params.chaos_plan)
         context = _CONTEXTS.get(header.context_key)
         if context is None:
+            chaos.check("executor.decode_context")
             decoded = loads_shared(header.context_payload)
             rebuild = getattr(decoded, "rebuild_context", None)
             context = rebuild() if rebuild is not None else decoded
             _CONTEXTS[header.context_key] = context
             while len(_CONTEXTS) > _MAX_CONTEXTS:
                 _CONTEXTS.popitem(last=False)
+                _EVICTIONS["context"] += 1
         else:
             _CONTEXTS.move_to_end(header.context_key)
-        params: _SweepParams = pickle.loads(header.sweep_blob)
+        chaos.check("executor.plan_build")
         plan = SweepPlan(
             context,
             params.scenarios,
@@ -384,17 +461,10 @@ def _warm_plan(header: WarmHeader):
         _PLANS[header.plan_key] = plan
         while len(_PLANS) > _MAX_PLANS:
             _PLANS.popitem(last=False)
+            _EVICTIONS["plan"] += 1
     else:
         _PLANS.move_to_end(header.plan_key)
-
-    if _CHAOS_KEY[0] != header.plan_key:
-        # Chaos must track the *current* sweep: install its plan, or
-        # clear a previous sweep's faults so they cannot leak forward.
-        if plan.chaos_plan is not None:
-            chaos.install(plan.chaos_plan)
-        else:
-            chaos.uninstall()
-        _CHAOS_KEY[0] = header.plan_key
+        _sync_chaos(header.plan_key, plan.chaos_plan)
     return plan
 
 
@@ -402,7 +472,7 @@ def _warm_run_task(header: WarmHeader, task: tuple[int, str]):
     """Warm-pool twin of :func:`repro.perf.sweep._run_task`."""
     from repro.perf.sweep import _task_rows
 
-    return _task_rows(_warm_plan(header), task)
+    return _task_rows(_warm_plan(header), task) + (worker_cache_stats(),)
 
 
 def _warm_run_chunk(header: WarmHeader, tasks: Sequence[tuple[int, str]]):
@@ -410,14 +480,18 @@ def _warm_run_chunk(header: WarmHeader, tasks: Sequence[tuple[int, str]]):
     from repro.perf.sweep import _task_rows
 
     plan = _warm_plan(header)
-    return [_task_rows(plan, task) for task in tasks]
+    rows = [_task_rows(plan, task) for task in tasks]
+    stats = worker_cache_stats()
+    return [row + (stats,) for row in rows]
 
 
 def _warm_run_chain(header: WarmHeader, segment):
     """Warm-pool twin of :func:`repro.perf.sweep._run_chain_task`."""
     from repro.perf.sweep import _chain_rows
 
-    return _chain_rows(_warm_plan(header), segment)
+    rows = _chain_rows(_warm_plan(header), segment)
+    stats = worker_cache_stats()
+    return [row + (stats,) for row in rows]
 
 
 # ----------------------------------------------------------------------
@@ -464,6 +538,8 @@ def run_campaign(
     executor: SweepExecutor | None = None,
     incremental: bool = True,
     reorder: bool = True,
+    checkpoint_dir: object = None,
+    supervisor: object = None,
     **sweep_kwargs: object,
 ) -> Iterator[tuple[int, list]]:
     """Run several sweeps over one context, streaming results.
@@ -479,16 +555,60 @@ def run_campaign(
     bit-identical to a standalone ``parallel_sweep`` over the same
     scenarios.
 
+    ``checkpoint_dir`` makes the campaign crash-only restartable: a
+    :class:`~repro.resilience.checkpoint.CampaignJournal` at
+    ``<dir>/campaign.jsonl`` commits one fsynced line per completed
+    sweep, and each in-flight sweep checkpoints to
+    ``<dir>/sweep-<index>.json``.  Rerunning after a hard kill replays
+    committed sweeps from the journal bit-identically (no re-solving;
+    evaluations are recomputed deterministically), resumes the
+    interrupted sweep from its own checkpoint, and compacts the journal
+    when the campaign completes.
+
+    ``supervisor`` threads a :class:`~repro.resilience.supervisor.
+    SweepSupervisor` through every sweep — hung-task preemption,
+    poison-scenario quarantine and circuit breakers all persist across
+    the campaign's sweeps (see :mod:`repro.resilience.supervisor`).
+
     ``executor=None`` uses :func:`get_default_executor` (left open for
     later campaigns); additional keyword arguments pass through to
     :func:`~repro.perf.sweep.parallel_sweep`.
     """
     from repro.perf.incremental import hamming_chain
     from repro.perf.sweep import parallel_sweep
+    from repro.resilience.checkpoint import result_from_json, result_to_json
 
     sweeps = [tuple(s) for s in sweeps]
     if executor is None:
         executor = get_default_executor()
+
+    journal = None
+    restored: dict[int, dict] = {}
+    fingerprints: list[str] = []
+    if checkpoint_dir is not None:
+        from pathlib import Path
+
+        from repro.resilience.checkpoint import (
+            CampaignJournal,
+            campaign_fingerprint,
+            sweep_fingerprint,
+        )
+
+        directory = Path(checkpoint_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        time_limit = float(sweep_kwargs.get("optimal_time_limit_s", 300.0))
+        compile_route = str(sweep_kwargs.get("optimal_compile", "sparse"))
+        fingerprints = [
+            sweep_fingerprint(
+                [s.name for s in sweep], algorithms, time_limit, compile_route
+            )
+            for sweep in sweeps
+        ]
+        journal = CampaignJournal(
+            directory / "campaign.jsonl", campaign_fingerprint(fingerprints)
+        )
+        restored = journal.load()
+
     if reorder:
         signatures = [
             frozenset().union(*(frozenset(s.failed) for s in sweep))
@@ -500,12 +620,90 @@ def run_campaign(
     else:
         order = list(range(len(sweeps)))
     for index in order:
+        if journal is not None:
+            entry = restored.get(index)
+            if entry is not None and entry.get("fingerprint") == fingerprints[index]:
+                results = [
+                    result_from_json(context, scenario, payload)
+                    for scenario, payload in zip(sweeps[index], entry["results"])
+                ]
+                for result in results:
+                    if result.degradation is None:
+                        from repro.resilience.degradation import DegradationReport
+
+                        result.degradation = DegradationReport()
+                    result.degradation.record(
+                        "campaign", "restore", f"restored from {journal.path}"
+                    )
+                yield index, results
+                continue
+        kwargs = dict(sweep_kwargs)
+        if journal is not None:
+            kwargs.setdefault("checkpoint_path", directory / f"sweep-{index}.json")
         results = parallel_sweep(
             context,
             sweeps[index],
             algorithms,
             executor=executor,
             incremental=incremental,
-            **sweep_kwargs,
+            supervisor=supervisor,
+            **kwargs,
         )
+        if journal is not None:
+            journal.append(
+                index, fingerprints[index], [result_to_json(r) for r in results]
+            )
         yield index, results
+    if journal is not None:
+        # Kept (compacted) rather than deleted: rerunning the finished
+        # campaign replays every sweep from the journal for free.
+        journal.compact()
+
+
+def campaign_summary(
+    collected: "Sequence[tuple[int, Sequence[object]]] | dict[int, Sequence[object]]",
+    supervisor: object = None,
+) -> dict[str, object]:
+    """Aggregate accounting of a campaign's collected results.
+
+    ``collected`` is the ``(index, results)`` stream of
+    :func:`run_campaign` (drained into a list or dict).  Folds together
+    per-sweep degradation counts, the worst-worker cache-eviction
+    telemetry (``FanoutStats.evictions``), and — when a ``supervisor``
+    is passed — its full :meth:`~repro.resilience.supervisor.
+    SweepSupervisor.summary`.
+    """
+    pairs = collected.items() if isinstance(collected, dict) else collected
+    summary: dict[str, object] = {
+        "sweeps": 0,
+        "scenarios": 0,
+        "degraded": 0,
+        "preempted": 0,
+        "quarantined": 0,
+        "restored": 0,
+        "evictions": {},
+    }
+    evictions: dict[str, int] = summary["evictions"]  # type: ignore[assignment]
+    for _, results in pairs:
+        summary["sweeps"] += 1
+        for result in results:
+            summary["scenarios"] += 1
+            degradation = getattr(result, "degradation", None)
+            events = () if degradation is None else degradation.events
+            if degradation is not None and degradation.degraded:
+                summary["degraded"] += 1
+            if any(e.action == "preempted" for e in events):
+                summary["preempted"] += 1
+            if any(e.action == "restore" for e in events):
+                summary["restored"] += 1
+            meta = getattr(result, "meta", {})
+            if meta.get("supervisor", {}).get("quarantined"):
+                summary["quarantined"] += 1
+            for layer, count in (
+                meta.get("fanout", {}).get("evictions", {}) or {}
+            ).items():
+                if count > evictions.get(layer, 0):
+                    evictions[layer] = count
+    if supervisor is not None:
+        summary["supervisor"] = supervisor.summary()
+    return summary

@@ -40,6 +40,8 @@ reference; the solver entry points default to the array route.
 from __future__ import annotations
 
 import time
+import warnings
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -52,6 +54,7 @@ from repro.types import FLOWVISOR_PROCESSING_MS, ControllerId, FlowId, NodeId
 __all__ = [
     "DEFAULT_KERNEL",
     "InstanceArrays",
+    "dict_kernel_reference",
     "instance_arrays",
     "prepare_instance",
     "resolve_kernel",
@@ -67,6 +70,28 @@ DEFAULT_KERNEL = "array"
 
 _KERNELS = ("array", "dict")
 
+#: Depth of nested :func:`dict_kernel_reference` blocks (>0 silences the
+#: dict-route deprecation warning — the cross-validation opt-out).
+_DICT_REFERENCE_DEPTH = [0]
+
+
+@contextmanager
+def dict_kernel_reference():
+    """Opt out of the ``kernel="dict"`` deprecation warning.
+
+    The dict routes exist as the bit-exactness reference the array
+    kernels are validated against (DESIGN §10); the cross-validation
+    tests and benchmarks wrap their dict invocations in this context
+    manager to say so explicitly.  Any *other* ``kernel="dict"`` use is
+    presumed an accident — production code wants the array route — and
+    draws a :class:`DeprecationWarning`.
+    """
+    _DICT_REFERENCE_DEPTH[0] += 1
+    try:
+        yield
+    finally:
+        _DICT_REFERENCE_DEPTH[0] -= 1
+
 
 def resolve_kernel(kernel: str | None) -> str:
     """Validate a ``kernel=`` argument, defaulting to :data:`DEFAULT_KERNEL`."""
@@ -74,6 +99,16 @@ def resolve_kernel(kernel: str | None) -> str:
         return DEFAULT_KERNEL
     if kernel not in _KERNELS:
         raise ValueError(f"kernel must be one of {_KERNELS}: {kernel!r}")
+    if kernel == "dict" and not _DICT_REFERENCE_DEPTH[0]:
+        warnings.warn(
+            DeprecationWarning(
+                'kernel="dict" is the cross-validation reference route, '
+                "10-30x slower than the default array kernels; wrap the "
+                "call in repro.perf.kernels.dict_kernel_reference() if "
+                "the dict route is genuinely intended"
+            ),
+            stacklevel=3,
+        )
     return kernel
 
 

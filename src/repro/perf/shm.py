@@ -262,23 +262,33 @@ def loads_shared(payload: SharedPayload) -> object:
 
 @dataclass
 class FanoutStats:
-    """Observable cost of shipping one sweep plan to the workers."""
+    """Observable cost of shipping one sweep plan to the workers.
+
+    ``evictions`` holds the warm route's worst-worker cache-eviction
+    counts per LRU layer (``context``/``plan``/``chaos_nonce``) — like
+    ``worker_init_s``, the maximum across the pool, since any worker's
+    eviction means a future re-decode.  Empty for cold routes.
+    """
 
     transport: str
     payload_bytes: int
     shared_bytes: int = 0
     encode_s: float = 0.0
     worker_init_s: float = 0.0
+    evictions: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, object]:
         """JSON-ready form for result meta and bench records."""
-        return {
+        out = {
             "transport": self.transport,
             "payload_bytes": self.payload_bytes,
             "shared_bytes": self.shared_bytes,
             "encode_s": self.encode_s,
             "worker_init_s": self.worker_init_s,
         }
+        if self.evictions:
+            out["evictions"] = dict(self.evictions)
+        return out
 
 
 def timed_dumps_shared(obj: object) -> tuple[SharedPayload, SegmentLease | None, FanoutStats]:

@@ -262,7 +262,9 @@ def _solve(
 
 
 #: One finished task: (scenario index, algorithm, solution, evaluation,
-#: degradation dict, worker init seconds).
+#: degradation dict, worker init seconds).  Warm-executor wrappers
+#: append a seventh element — the worker's cache telemetry snapshot
+#: (:func:`repro.perf.executor.worker_cache_stats`).
 _TaskResult = tuple[
     int, str, RecoverySolution, RecoveryEvaluation, "dict | None", "float | None"
 ]
@@ -437,9 +439,16 @@ class _SweepRunner:
         evaluation: RecoveryEvaluation,
         report_dict: dict | None,
         init_s: float | None = None,
+        worker_stats: dict | None = None,
     ) -> None:
         if init_s is not None and self.fanout is not None:
             self.fanout.worker_init_s = max(self.fanout.worker_init_s, init_s)
+        if worker_stats is not None and self.fanout is not None:
+            # Worst-worker semantics, like worker_init_s: any worker's
+            # eviction is a future re-decode somewhere in the pool.
+            for layer, count in worker_stats.get("evictions", {}).items():
+                if count > self.fanout.evictions.get(layer, 0):
+                    self.fanout.evictions[layer] = count
         result = self.results[index]
         result.solutions[algorithm] = solution
         result.evaluations[algorithm] = evaluation
@@ -830,6 +839,338 @@ class _SweepRunner:
             self._flush_checkpoint()
         return True
 
+    # -- supervised execution ------------------------------------------
+    def _supervisor_meta(self, index: int) -> dict:
+        """The per-result supervisor audit dict (created on first use)."""
+        return self.results[index].meta.setdefault(
+            "supervisor", {"events": [], "quarantined": False}
+        )
+
+    def _run_quarantined(self, index: int, q_report, supervisor) -> None:
+        """Solve one quarantined scenario serially through the ladder.
+
+        Runs in the parent, where ``kill-worker`` and ``hang`` chaos are
+        no-ops by construction, and deliberately skips the ``sweep.task``
+        chaos site — the terminal fallback must always complete.  Exact
+        solves go through the sweep's ladder (or the default one) so a
+        genuinely broken solver still degrades to the PM rung instead of
+        wedging the campaign.
+        """
+        from repro.resilience.degradation import default_ladder
+
+        result = self.results[index]
+        ladder = self.ladder or default_ladder(self.optimal_time_limit_s)
+        instance = self.context.instance(self.scenarios[index])
+        prepare_instance(instance)
+        solved = []
+        for algorithm in self.algorithms:
+            if algorithm in result.solutions:
+                continue
+            solution, report = _solve(
+                instance,
+                algorithm,
+                self.optimal_time_limit_s,
+                self.optimal_compile,
+                ladder,
+                self.validate,
+            )
+            solved.append((algorithm, solution, report))
+        evaluations = evaluate_batch(instance, [sol for _, sol, _ in solved])
+        result.degradation.record(
+            "supervisor",
+            "quarantine",
+            f"retry budget exhausted after {q_report.charges} "
+            f"{q_report.cause} charge(s); solved serially via the ladder",
+        )
+        meta = self._supervisor_meta(index)
+        meta["quarantined"] = True
+        meta["events"].append({"action": "quarantine", **q_report.to_dict()})
+        for (algorithm, solution, report), evaluation in zip(solved, evaluations):
+            self._store(
+                index, algorithm, solution, evaluation,
+                None if report is None else report.to_dict(),
+            )
+
+    def _quarantine_over_budget(self, supervisor) -> None:
+        """Quarantine + serially solve every over-budget scenario.
+
+        Covers both *fresh* decisions (this sweep's charges crossed the
+        budget) and scenarios already quarantined by an earlier sweep of
+        the same campaign: known-poison work never reaches the pool
+        again, it goes straight to the parent-serial ladder.
+        """
+        open_indices = {
+            self.scenarios[i].name: i
+            for i in range(len(self.scenarios))
+            if i not in self.completed
+        }
+        reports = {
+            q_report.scenario: q_report
+            for q_report in supervisor.quarantine_decisions(
+                list(open_indices), self.algorithms
+            )
+        }
+        for q_report in supervisor.quarantines:
+            if q_report.scenario in open_indices:
+                reports.setdefault(q_report.scenario, q_report)
+        for name, q_report in reports.items():
+            self._run_quarantined(open_indices[name], q_report, supervisor)
+
+    def run_supervised(self, tasks: Sequence[tuple[int, str]], workers: int,
+                       executor, supervisor) -> bool:
+        """Warm fan-out under a :class:`~repro.resilience.supervisor.
+        SweepSupervisor`; True when all tasks completed.
+
+        Same submission shapes and result contract as :meth:`run_warm` —
+        fault-free, the two are byte-for-byte identical (the supervisor's
+        hooks all return their inputs unchanged) — plus four layers of
+        supervision, re-submitted in *rounds* until nothing is pending:
+
+        * The wait loop doubles as the watchdog: it wakes every
+          ``poll_interval_s``, stamps a deadline on each submission unit
+          when it is first observed *running*, and hard-kills the pool
+          (:meth:`~repro.perf.executor.SweepExecutor.preempt`) when a
+          unit overstays — charging only that unit's scenarios.
+        * A :class:`~repro.exceptions.ChaosError` escaping a task is a
+          *task fault*: its unit's scenarios are charged and requeued.
+          Any other task exception propagates unchanged, exactly as the
+          unsupervised routes raise it.
+        * Scenarios charged past the retry budget are quarantined and
+          solved serially in the parent before the next round.
+        * Each round submits under the breaker-effective ladder and
+          transport; a breaker state change mid-round cancels the
+          not-yet-running remainder so it requeues under the new route.
+
+        Pool crashes (``BrokenProcessPool`` and kin) charge the units
+        last observed running — the likely culprits — or all unfinished
+        ones when nothing was seen running; after ``max_pool_restarts``
+        of them the sweep falls back to serial like :meth:`run_warm`
+        does on its first crash.
+        """
+        from repro.exceptions import ChaosError
+        from repro.perf import executor as executor_mod
+
+        policy = supervisor.policy
+        supervisor.stats["supervised_sweeps"] += 1
+        executor.stats["sweeps"] += 1
+        base_ladder = self.ladder
+        base_transport = self.transport
+        deadline_s = supervisor.task_deadline_s(
+            base_ladder, self.optimal_time_limit_s
+        )
+        heavy = any(a in _HEAVY_ALGORITHMS for a in self.algorithms)
+        pool_restarts = 0
+        # One header per effective (ladder, transport) route for the whole
+        # sweep.  Rebuilding per requeue round would mint a fresh chaos
+        # nonce each time (``SweepExecutor.plan_key``), resetting the
+        # workers' fault counters every round — a one-shot injected fault
+        # would then re-fire on every retry instead of being retried past.
+        headers: list = []
+
+        try:
+            while True:
+                self._quarantine_over_budget(supervisor)
+                tasks = self.pending_tasks()
+                if not tasks:
+                    return True
+
+                self.ladder = supervisor.effective_ladder(base_ladder)
+                self.transport = supervisor.effective_transport(base_transport)
+                ladder_round = self.ladder
+                cached = next(
+                    (
+                        (h, s)
+                        for ladder, transport, h, s in headers
+                        if ladder == ladder_round and transport == self.transport
+                    ),
+                    None,
+                )
+                if cached is None:
+                    try:
+                        header, stats = self._warm_header(executor)
+                    except Exception as exc:  # unpicklable context: stay serial
+                        self._warn_fallback(
+                            f"sweep plan failed to encode ({exc!r})"
+                        )
+                        return False
+                    headers.append((ladder_round, self.transport, header, stats))
+                else:
+                    header, stats = cached
+                self.fanout = stats
+
+                units: dict = {}
+                processed: set = set()
+                running_seen: set = set()
+                deadlines: dict = {}
+                try:
+                    pool = executor.pool()
+                    if self.incremental:
+                        chunked = True
+                        for segment in self.chain_plan(tasks, workers):
+                            unit = tuple(
+                                (i, a) for i, algos in segment for a in algos
+                            )
+                            future = pool.submit(
+                                executor_mod._warm_run_chain, header, segment
+                            )
+                            units[future] = unit
+                    elif heavy:
+                        chunked = False
+                        for task in tasks:
+                            future = pool.submit(
+                                executor_mod._warm_run_task, header, task
+                            )
+                            units[future] = (task,)
+                    else:
+                        chunked = True
+                        size = -(-len(tasks) // workers)
+                        for k in range(workers):
+                            chunk = list(tasks[k * size:(k + 1) * size])
+                            if chunk:
+                                future = pool.submit(
+                                    executor_mod._warm_run_chunk, header, chunk
+                                )
+                                units[future] = tuple(chunk)
+
+                    pending = set(units)
+                    preempted = False
+                    stored_rows = False
+                    transport_fault = False
+                    while pending:
+                        done, pending = wait(
+                            pending,
+                            timeout=policy.poll_interval_s,
+                            return_when=FIRST_COMPLETED,
+                        )
+                        for future in done:
+                            if future.cancelled():
+                                continue
+                            try:
+                                outcome = future.result()
+                            except ChaosError as exc:
+                                processed.add(future)
+                                if "decode_context" in str(exc):
+                                    transport_fault = True
+                                self._charge_unit(
+                                    supervisor, units[future], "task-fault",
+                                    str(exc),
+                                )
+                                continue
+                            processed.add(future)
+                            stored_rows = True
+                            rows = outcome if chunked else [outcome]
+                            for row in rows:
+                                self._store(*row)
+                                supervisor.observe_report(row[4])
+
+                        now = supervisor.clock()
+                        for future in pending:
+                            if future not in deadlines and future.running():
+                                running_seen.add(future)
+                                deadlines[future] = now + deadline_s * max(
+                                    1, len(units[future])
+                                )
+                        expired = [
+                            f for f in pending
+                            if f in deadlines and now > deadlines[f]
+                        ]
+                        if expired:
+                            # Hung worker(s): kill the whole pool — a
+                            # wedged task cannot be cancelled — charge
+                            # only the overdue units, requeue the rest.
+                            supervisor.stats["preemptions"] += 1
+                            pool_restarts += 1
+                            executor.preempt()
+                            for future in expired:
+                                processed.add(future)
+                                budget = deadline_s * max(1, len(units[future]))
+                                self._charge_unit(
+                                    supervisor, units[future], "preempted",
+                                    f"unit exceeded its {budget:.1f}s deadline",
+                                )
+                            supervisor.events.append({
+                                "action": "preempt",
+                                "scenarios": sorted({
+                                    self.scenarios[i].name
+                                    for f in expired
+                                    for i, _ in units[f]
+                                }),
+                            })
+                            preempted = True
+                            break
+
+                        if supervisor.effective_ladder(base_ladder) != ladder_round:
+                            # A breaker opened or half-opened mid-round:
+                            # requeue everything not yet running under
+                            # the new effective route.
+                            for future in list(pending):
+                                future.cancel()
+
+                    if (
+                        not preempted
+                        and not pending
+                        and stored_rows
+                        and not transport_fault
+                        and stats.transport == "warm-shm"
+                    ):
+                        # Results actually crossed the shm route this
+                        # round — that is a transport success (closes a
+                        # half-open breaker, resets consecutive counts).
+                        supervisor.observe_transport(True)
+                except ChaosError as exc:
+                    # ``executor.respawn`` chaos: the host cannot fork
+                    # replacement workers — only the serial path is left.
+                    self._warn_fallback(f"pool respawn failed ({exc!r})")
+                    return False
+                except (OSError, pickle.PickleError, BrokenProcessPool) as exc:
+                    supervisor.stats["pool_crashes"] += 1
+                    pool_restarts += 1
+                    executor.mark_broken()
+                    blamed = [
+                        f for f in running_seen if f not in processed
+                    ] or [f for f in units if f not in processed]
+                    for future in blamed:
+                        processed.add(future)
+                        self._charge_unit(
+                            supervisor, units[future], "pool-crash", repr(exc)
+                        )
+                    if pool_restarts > policy.max_pool_restarts:
+                        self._warn_fallback(
+                            f"process pool failed {pool_restarts} times, "
+                            f"exceeding max_pool_restarts="
+                            f"{policy.max_pool_restarts} ({exc!r})"
+                        )
+                        return False
+                finally:
+                    self._flush_checkpoint()
+        finally:
+            self.ladder = base_ladder
+            self.transport = base_transport
+
+    def _charge_unit(self, supervisor, unit, cause: str, reason: str) -> None:
+        """Charge one failed submission unit's scenarios to the ledger
+        and stamp the failure on their results."""
+        if cause == "task-fault":
+            # Preemptions and pool crashes are counted once at their
+            # detection sites; task faults are inherently per-unit.
+            supervisor.stats["task_faults"] += 1
+            if "decode_context" in reason:
+                supervisor.observe_transport(False, reason)
+        indices = sorted({i for i, _ in unit})
+        names = [self.scenarios[i].name for i in indices]
+        supervisor.charge(names, cause)
+        for index in indices:
+            self.results[index].degradation.record("supervisor", cause, reason)
+            self._supervisor_meta(index)["events"].append({
+                "action": cause,
+                "reason": reason,
+            })
+        supervisor.events.append({
+            "action": cause,
+            "scenarios": names,
+            "reason": reason,
+        })
+
     def _warn_fallback(self, cause: str) -> None:
         reason = f"{cause}; completing remaining tasks serially"
         self.record_mode(reason, degraded=True)
@@ -889,6 +1230,7 @@ def parallel_sweep(
     transport: str = "auto",
     incremental: bool = False,
     executor: "SweepExecutor | None" = None,  # noqa: F821
+    supervisor: "SweepSupervisor | None" = None,  # noqa: F821
 ) -> "list[ScenarioResult]":  # noqa: F821
     """Run ``scenarios`` × ``algorithms`` over a process pool.
 
@@ -928,6 +1270,15 @@ def parallel_sweep(
     plan, so every sweep after the first over a context runs near the
     pure-solve floor.  Results stay bit-identical; the executor's pool
     failures degrade to the serial path exactly like fresh-pool ones.
+
+    ``supervisor`` wraps the warm route in a
+    :class:`~repro.resilience.supervisor.SweepSupervisor`: per-unit
+    deadlines with hung-worker preemption, retry budgets with poison-
+    scenario quarantine to the serial ladder, and circuit breakers
+    around the exact rungs and the shm transport.  Implies the warm
+    route (the default executor is used when none is passed); with no
+    faults observed the supervised sweep is bit-identical to the
+    unsupervised one.
     """
     import os
 
@@ -937,6 +1288,10 @@ def parallel_sweep(
         )
     if executor is not None and executor.closed:
         raise ValueError("executor is closed; create a new SweepExecutor")
+    if supervisor is not None and executor is None:
+        from repro.perf.executor import get_default_executor
+
+        executor = get_default_executor(max_workers)
     scenarios = tuple(scenarios)
     algorithms = tuple(algorithms)
 
@@ -988,6 +1343,13 @@ def parallel_sweep(
     elif workers <= 1:
         runner.record_mode(f"serial: max_workers={max_workers} resolves to <= 1 worker")
         runner.run_serial(tasks)
+    elif executor is not None and supervisor is not None:
+        runner.record_mode(
+            f"supervised-warm-pool: executor {executor.id}, {workers} workers, "
+            f"{len(tasks)} tasks"
+        )
+        if not runner.run_supervised(tasks, workers, executor, supervisor):
+            runner.run_serial(runner.pending_tasks())
     elif executor is not None:
         runner.record_mode(
             f"warm-pool: executor {executor.id}, {workers} workers, "

@@ -2,7 +2,7 @@
 
 The paper's premise is graceful degradation under failure; this package
 applies the same philosophy to the reproduction's own execution
-pipeline.  Four pieces:
+pipeline.  Five pieces:
 
 :mod:`repro.resilience.degradation`
     A configurable **degradation ladder** for exact solves
@@ -15,7 +15,14 @@ pipeline.  Four pieces:
     tested code.
 :mod:`repro.resilience.checkpoint`
     **Checkpoint/resume** for failure sweeps: completed scenarios
-    persist as JSON and a killed sweep resumes bit-identically.
+    persist as JSON and a killed sweep resumes bit-identically.  The
+    :class:`CampaignJournal` write-ahead log scales the guarantee to
+    whole campaigns (crash-only: append, fsync, replay, compact).
+:mod:`repro.resilience.supervisor`
+    A **sweep supervisor** around the warm executor: per-unit deadlines
+    with hung-worker preemption, retry budgets with poison-scenario
+    quarantine to the serial ladder, and closed/open/half-open circuit
+    breakers around the exact rungs and the shm transport.
 :mod:`repro.resilience.validate`
     An **independent solution validator** checking any
     :class:`~repro.fmssm.solution.RecoverySolution` against the
@@ -26,7 +33,12 @@ See ``docs/robustness.md`` for the full design.
 """
 
 from repro.resilience import chaos
-from repro.resilience.checkpoint import SweepCheckpoint, sweep_fingerprint
+from repro.resilience.checkpoint import (
+    CampaignJournal,
+    SweepCheckpoint,
+    campaign_fingerprint,
+    sweep_fingerprint,
+)
 from repro.resilience.degradation import (
     DegradationEvent,
     DegradationReport,
@@ -34,6 +46,12 @@ from repro.resilience.degradation import (
     Rung,
     default_ladder,
     solve_with_ladder,
+)
+from repro.resilience.supervisor import (
+    CircuitBreaker,
+    QuarantineReport,
+    SupervisorPolicy,
+    SweepSupervisor,
 )
 from repro.resilience.validate import (
     ValidationReport,
@@ -52,6 +70,12 @@ __all__ = [
     "solve_with_ladder",
     "SweepCheckpoint",
     "sweep_fingerprint",
+    "CampaignJournal",
+    "campaign_fingerprint",
+    "CircuitBreaker",
+    "QuarantineReport",
+    "SupervisorPolicy",
+    "SweepSupervisor",
     "ValidationReport",
     "Violation",
     "check_solution",

@@ -29,6 +29,22 @@ Instrumented sites
     Entry of the corresponding solver routines; ``highs.solve.x`` is the
     transform point over the HiGHS result vector (``corrupt-solution``
     activates every pair, which the independent validator must reject).
+``executor.decode_context``
+    Fires in a warm worker right before it decodes a cache-cold context
+    payload (:mod:`repro.perf.executor`) — a fault here simulates a
+    worker that cannot attach to or unpickle the shipped context.
+``executor.plan_build``
+    Fires in a warm worker right before it assembles a cache-cold
+    :class:`~repro.perf.sweep.SweepPlan` from the decoded layers.
+``executor.respawn``
+    Fires in the *parent* when a :class:`~repro.perf.executor.
+    SweepExecutor` respawns a broken pool — ``raise-error`` here
+    simulates a host that cannot fork replacement workers.
+
+The ``hang`` action sleeps for ``Fault.seconds`` — long enough to trip a
+supervisor deadline — and, like ``kill-worker``, only fires in worker
+processes: the parent (and therefore the supervisor's quarantine path,
+which runs poisoned scenarios serially) is immune by construction.
 
 Counters are **per process** (a worker counts its own calls) and
 deliberately simple: deterministic tests install a plan, run, and
@@ -81,20 +97,24 @@ class Fault:
 
     ``count`` is how many consecutive calls (starting at ``at_call``,
     1-based, counted per process) the fault fires on; ``None`` means
-    every call from ``at_call`` onward.
+    every call from ``at_call`` onward.  ``seconds`` is how long the
+    ``hang`` action sleeps (ignored by every other action).
     """
 
     site: str
     action: str
     at_call: int = 1
     count: int | None = 1
+    seconds: float = 30.0
 
     def __post_init__(self) -> None:
-        known = set(_RAISE_ACTIONS) | _TRANSFORM_ACTIONS | {"kill-worker"}
+        known = set(_RAISE_ACTIONS) | _TRANSFORM_ACTIONS | {"kill-worker", "hang"}
         if self.action not in known:
             raise ValueError(f"unknown chaos action {self.action!r}")
         if self.at_call < 1:
             raise ValueError("at_call is 1-based")
+        if self.seconds <= 0:
+            raise ValueError("seconds must be positive")
 
     def fires(self, call: int) -> bool:
         """Whether this fault fires on the (1-based) ``call``-th call."""
@@ -173,6 +193,12 @@ def check(site: str) -> None:
             if _in_worker_process():
                 os._exit(17)
             continue  # parent processes survive their workers' chaos
+        if fault.action == "hang":
+            if _in_worker_process():
+                import time
+
+                time.sleep(fault.seconds)
+            continue  # parents (and quarantine reruns) never hang
         maker = _RAISE_ACTIONS.get(fault.action)
         if maker is not None:
             raise maker(fault, call)

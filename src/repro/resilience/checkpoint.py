@@ -1,4 +1,4 @@
-"""Checkpoint/resume for failure sweeps.
+"""Checkpoint/resume for failure sweeps and campaigns.
 
 A long sweep killed at task 700 of 1000 should not redo the first 700
 solves.  :class:`SweepCheckpoint` persists completed
@@ -14,6 +14,16 @@ algorithms, time limit, compile route) — resuming against a different
 sweep raises :class:`CheckpointError` instead of silently mixing
 results.  Writes are atomic (tmp file + ``os.replace``) so a crash
 mid-write leaves the previous checkpoint intact.
+
+:class:`CampaignJournal` scales the same guarantee to *campaigns* (many
+sweeps over one context, :func:`~repro.perf.executor.run_campaign`)
+with a crash-only write-ahead log: one fsynced JSON line per completed
+sweep, appended and never rewritten while the campaign runs.  A killed
+campaign resumes by replaying the journal — completed sweeps restore
+bit-identically without re-solving, the in-flight sweep resumes from
+its own per-sweep checkpoint file, and a torn final line (the only
+state a hard kill can leave behind) is discarded as not-yet-committed.
+The journal auto-compacts when the campaign completes.
 """
 
 from __future__ import annotations
@@ -28,9 +38,15 @@ from repro.exceptions import CheckpointError
 from repro.fmssm.solution import RecoverySolution
 from repro.resilience.degradation import DegradationReport
 
-__all__ = ["SweepCheckpoint", "sweep_fingerprint"]
+__all__ = [
+    "SweepCheckpoint",
+    "sweep_fingerprint",
+    "CampaignJournal",
+    "campaign_fingerprint",
+]
 
 CHECKPOINT_SCHEMA = 1
+JOURNAL_SCHEMA = 1
 
 
 def sweep_fingerprint(
@@ -197,6 +213,147 @@ class SweepCheckpoint:
 
     def clear(self) -> None:
         """Delete the checkpoint file (called when a sweep completes)."""
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+
+
+# ----------------------------------------------------------------------
+# Campaign write-ahead log (crash-only: append, fsync, replay, compact)
+# ----------------------------------------------------------------------
+
+def campaign_fingerprint(sweep_fingerprints: Sequence[str]) -> str:
+    """Stable identity of a campaign: the ordered per-sweep fingerprints.
+
+    Each per-sweep fingerprint already covers its scenario names,
+    algorithms, time limit and compile route, so hashing the ordered
+    tuple pins the whole campaign without re-serializing anything.
+    """
+    blob = repr(tuple(sweep_fingerprints)).encode()
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+class CampaignJournal:
+    """Append-only, fsynced JSONL journal of a campaign's completed sweeps.
+
+    Line 1 is a header (schema + campaign fingerprint); every following
+    line commits one completed sweep: its caller-order index, its sweep
+    fingerprint, and the full :func:`result_to_json` payloads of its
+    results.  Appends are flushed and ``os.fsync``\\ ed before the write
+    returns, so a committed line survives any kill; a kill *during* an
+    append leaves at most one torn trailing line, which :meth:`load`
+    discards (the sweep simply re-runs — crash-only semantics, no repair
+    step).  :meth:`compact` rewrites the file atomically keeping only
+    the latest entry per sweep, in index order.
+    """
+
+    def __init__(self, path: str | Path, fingerprint: str) -> None:
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+
+    def load(self) -> dict[int, dict[str, object]]:
+        """Committed sweep entries keyed by sweep index (latest wins).
+
+        Returns an empty dict when no journal exists.  Raises
+        :class:`CheckpointError` for a header from a different campaign
+        or corruption anywhere but the final line; a torn final line is
+        silently dropped.
+        """
+        if not self.path.exists():
+            return {}
+        try:
+            lines = self.path.read_text(encoding="utf-8").splitlines()
+        except OSError as exc:
+            raise CheckpointError(f"unreadable journal {self.path}: {exc}") from exc
+        if not lines:
+            return {}
+        try:
+            header = json.loads(lines[0])
+        except ValueError as exc:
+            raise CheckpointError(
+                f"journal {self.path} has a corrupt header line"
+            ) from exc
+        if header.get("schema") != JOURNAL_SCHEMA or header.get("kind") != "campaign":
+            raise CheckpointError(
+                f"journal {self.path} has unsupported header {header!r}"
+            )
+        if header.get("fingerprint") != self.fingerprint:
+            raise CheckpointError(
+                f"journal {self.path} belongs to a different campaign "
+                f"(fingerprint {header.get('fingerprint')!r} != "
+                f"{self.fingerprint!r})"
+            )
+        entries: dict[int, dict[str, object]] = {}
+        for lineno, line in enumerate(lines[1:], start=2):
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+                index = int(entry["sweep"])
+                entry["results"]
+            except (ValueError, KeyError, TypeError) as exc:
+                if lineno == len(lines):
+                    break  # torn final append from a hard kill: not committed
+                raise CheckpointError(
+                    f"journal {self.path} is corrupt at line {lineno}"
+                ) from exc
+            entries[index] = entry
+        return entries
+
+    def append(self, index: int, fingerprint: str, results: Sequence[dict]) -> None:
+        """Commit one completed sweep (fsynced before returning)."""
+        entry = {
+            "sweep": int(index),
+            "fingerprint": fingerprint,
+            "results": list(results),
+        }
+        line = json.dumps(entry, separators=(",", ":")) + "\n"
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        new_file = not self.path.exists()
+        with open(self.path, "a", encoding="utf-8") as handle:
+            if new_file:
+                handle.write(
+                    json.dumps(
+                        {
+                            "schema": JOURNAL_SCHEMA,
+                            "kind": "campaign",
+                            "fingerprint": self.fingerprint,
+                        },
+                        separators=(",", ":"),
+                    )
+                    + "\n"
+                )
+            handle.write(line)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def compact(self) -> None:
+        """Atomically rewrite the journal: header + latest entry per sweep."""
+        entries = self.load()
+        if not entries and not self.path.exists():
+            return
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(
+                json.dumps(
+                    {
+                        "schema": JOURNAL_SCHEMA,
+                        "kind": "campaign",
+                        "fingerprint": self.fingerprint,
+                    },
+                    separators=(",", ":"),
+                )
+                + "\n"
+            )
+            for index in sorted(entries):
+                handle.write(json.dumps(entries[index], separators=(",", ":")) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+
+    def clear(self) -> None:
+        """Delete the journal file."""
         try:
             self.path.unlink()
         except FileNotFoundError:

@@ -91,7 +91,14 @@ class DegradationReport:
     @property
     def degraded(self) -> bool:
         """True when anything beyond the primary path happened."""
-        return any(e.action in ("demote", "retry", "serial-fallback") for e in self.events)
+        return any(
+            e.action in (
+                "demote", "retry", "serial-fallback",
+                # Supervisor verdicts (repro.resilience.supervisor):
+                "preempted", "quarantine", "task-fault", "pool-crash",
+            )
+            for e in self.events
+        )
 
     @property
     def demotions(self) -> tuple[DegradationEvent, ...]:
@@ -222,6 +229,27 @@ class LadderPolicy:
     def __post_init__(self) -> None:
         if not self.rungs:
             raise ValueError("a ladder needs at least one rung")
+
+    def drop_rungs(self, names: "set[str] | frozenset[str]") -> "LadderPolicy":
+        """This policy without the rungs in ``names`` (breaker skips).
+
+        The terminal rung is never dropped — an open circuit breaker may
+        skip a failing rung's timeout, but the ladder must always keep a
+        route to an answer.  Returns ``self`` when nothing changes, so
+        the fault-free path reuses the identical (cached) policy object.
+        """
+        kept = tuple(
+            rung
+            for index, rung in enumerate(self.rungs)
+            if rung.name not in names or index == len(self.rungs) - 1
+        )
+        if len(kept) == len(self.rungs):
+            return self
+        return LadderPolicy(
+            rungs=kept,
+            validate=self.validate,
+            require_full_recovery=self.require_full_recovery,
+        )
 
 
 def default_ladder(

@@ -385,6 +385,13 @@ class TestCampaign:
 class TestArrayKernelPorts:
     """The satellite kernel ports: array routes equal their dict references."""
 
+    @pytest.fixture(autouse=True)
+    def _dict_route_is_the_reference_here(self):
+        from repro.perf.kernels import dict_kernel_reference
+
+        with dict_kernel_reference():
+            yield
+
     def test_retroflow_ip_kernels_agree(self, small_instance):
         from repro.baselines.retroflow import solve_retroflow_ip
 

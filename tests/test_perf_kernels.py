@@ -20,6 +20,8 @@ Three layers of evidence:
 
 from __future__ import annotations
 
+import warnings
+
 import pytest
 from hypothesis import HealthCheck, assume, given, settings
 from hypothesis import strategies as st
@@ -38,6 +40,7 @@ from repro.fmssm.evaluation import evaluate_batch, evaluate_solution
 from repro.fmssm.instance import FMSSMInstance
 from repro.perf.kernels import (
     DEFAULT_KERNEL,
+    dict_kernel_reference,
     instance_arrays,
     prepare_instance,
     resolve_kernel,
@@ -50,6 +53,14 @@ SETTINGS = settings(
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
 )
+
+
+@pytest.fixture(autouse=True)
+def _dict_route_is_the_reference_here():
+    """These are the cross-validation tests: opt out of the dict-route
+    deprecation warning explicitly, as the warning's docs instruct."""
+    with dict_kernel_reference():
+        yield
 
 
 def _pm_variant(phase2_order: str, enforce_delay: bool):
@@ -135,6 +146,19 @@ class TestKernelRouting:
     def test_unknown_kernel_rejected(self):
         with pytest.raises(ValueError, match="kernel"):
             resolve_kernel("simd")
+
+    def test_dict_route_warns_outside_reference_block(self, monkeypatch):
+        from repro.perf import kernels
+
+        # Undo this module's autouse opt-out to observe the default.
+        monkeypatch.setattr(kernels, "_DICT_REFERENCE_DEPTH", [0])
+        with pytest.warns(DeprecationWarning, match="cross-validation"):
+            assert resolve_kernel("dict") == "dict"
+        monkeypatch.undo()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_kernel("array") == "array"
+            assert resolve_kernel("dict") == "dict"  # opted out here
 
     def test_prepare_instance_returns_cached_view(self, tiny_instance):
         arrays = prepare_instance(tiny_instance)
