@@ -24,6 +24,14 @@ keeps ``BENCH_headline.json`` fresh and well-formed.  Timed stages:
   the first sweep pays the pool spawn + context encode once, the second
   rides warm workers and cached plans (CI guards
   ``sweep_reuse_s <= sweep_shm_s / 5`` within the same run),
+* ``sweep_memo_cold_s`` / ``sweep_memo_hit_s`` — the same 25-scenario
+  n=40 sweep against a fresh :class:`~repro.perf.store.SolveStore`:
+  the cold pass populates the store, the hit pass replays every solve
+  from it bit-identically (CI guards
+  ``sweep_memo_hit_s <= sweep_reuse_s / 5`` within the same run, and
+  that the hit pass reports zero store misses),
+* ``campaign_shared_store_s`` — the ATT 1+2-failure campaign rerun over
+  a store a previous campaign populated: pure hits end to end,
 * ``sweep_supervised_s`` — the identical warm sweep under a fault-free
   :class:`~repro.resilience.supervisor.SweepSupervisor`: the watchdog /
   breaker / ledger bookkeeping must stay within a few percent of
@@ -53,7 +61,7 @@ import time
 
 import pytest
 
-from conftest import record_fanout, record_stage, record_sweep
+from conftest import record_fanout, record_stage, record_store, record_sweep
 from repro.control.failures import FailureScenario
 from repro.experiments.report import render_table
 from repro.experiments.runner import run_failure_sweep, run_failure_sweep_parallel
@@ -401,6 +409,136 @@ def test_sweep_executor_reuse(waxman40_context, capsys):
                         f"{supervised_s:.3f}  ({supervised_s / reuse_s:.2f}x)",
                     ),
                 ],
+            )
+        )
+
+
+def test_sweep_store_memo(waxman40_context, tmp_path_factory, capsys):
+    """Cross-run solve memoization: hits replay the sweep bit-identically.
+
+    Shape matches ``test_sweep_executor_reuse`` (25 scenarios, four
+    heuristics, 4 workers) so ``sweep_memo_hit_s`` is directly
+    comparable to the warm ``sweep_reuse_s``; ``check_headline.py``
+    enforces the >=5x same-run improvement and that the hit pass
+    reports zero misses.
+    """
+    from repro.perf.store import SolveStore
+    from repro.perf.sweep import parallel_sweep, store_summary
+
+    scenarios = _failure_scenarios(waxman40_context, (1, 2, 3))
+    reference = parallel_sweep(
+        waxman40_context, scenarios, FAST_ALGORITHMS, max_workers=1,
+    )
+    root = tmp_path_factory.mktemp("solve-store")
+
+    start = time.perf_counter()
+    cold = parallel_sweep(
+        waxman40_context, scenarios, FAST_ALGORITHMS,
+        max_workers=4, min_parallel_tasks=0, store=SolveStore(root),
+    )
+    cold_s = time.perf_counter() - start
+    record_sweep("sweep_memo_cold_s", cold_s, cold)
+    assert store_summary(cold)["misses"] == len(scenarios) * len(FAST_ALGORITHMS)
+
+    # Hit pass, best of three: every solve replays from the store (a
+    # fresh handle each round — the cross-run case, no warm index).
+    hit_s, hot = _best_of(
+        3,
+        lambda: parallel_sweep(
+            waxman40_context, scenarios, FAST_ALGORITHMS,
+            max_workers=4, min_parallel_tasks=0, store=SolveStore(root),
+        ),
+    )
+    record_sweep("sweep_memo_hit_s", hit_s, hot)
+
+    assert_sweeps_identical(reference, cold)
+    assert_sweeps_identical(reference, hot)
+    summary = store_summary(hot)
+    assert summary["misses"] == 0
+    assert summary["hits"] == len(scenarios) * len(FAST_ALGORITHMS)
+    record_store(
+        {
+            "memo_hits": summary["hits"],
+            "memo_misses": summary["misses"],
+            "memo_dedup": summary["dedup"],
+        }
+    )
+    with capsys.disabled():
+        print()
+        print("=== Cross-run solve store (25 scenarios, heuristics) ===")
+        print(
+            render_table(
+                ("sweep", "wall (s)"),
+                [
+                    ("cold (populates store)", f"{cold_s:.3f}"),
+                    (
+                        "hit (replayed)",
+                        f"{hit_s:.3f}  ({cold_s / hit_s:.2f}x)",
+                    ),
+                ],
+            )
+        )
+
+
+def test_campaign_shared_store(context, tmp_path_factory, capsys):
+    """A campaign rerun over a previously populated store: pure hits."""
+    from repro.control.failures import enumerate_failure_scenarios
+    from repro.perf.executor import SweepExecutor, campaign_summary, run_campaign
+    from repro.perf.store import SolveStore
+    from repro.perf.sweep import parallel_sweep
+
+    sweeps = [
+        tuple(enumerate_failure_scenarios(context.plane, n)) for n in (1, 2)
+    ]
+    references = [
+        parallel_sweep(context, sweep, FAST_ALGORITHMS, max_workers=1)
+        for sweep in sweeps
+    ]
+    root = tmp_path_factory.mktemp("campaign-store")
+    with SweepExecutor(max_workers=4) as executor:
+        # First campaign populates the store (a previous run's role).
+        for _ in run_campaign(
+            context, sweeps, FAST_ALGORITHMS,
+            executor=executor, max_workers=4, min_parallel_tasks=0,
+            store=SolveStore(root),
+        ):
+            pass
+        start = time.perf_counter()
+        collected: dict[int, list] = {}
+        for index, results in run_campaign(
+            context, sweeps, FAST_ALGORITHMS,
+            executor=executor, max_workers=4, min_parallel_tasks=0,
+            store=SolveStore(root),
+        ):
+            collected[index] = results
+        campaign_s = time.perf_counter() - start
+    record_sweep(
+        "campaign_shared_store_s", campaign_s,
+        [r for results in collected.values() for r in results],
+    )
+    for index, reference in enumerate(references):
+        assert_sweeps_identical(reference, collected[index])
+    summary = campaign_summary(collected)
+    assert summary["store_misses"] == 0
+    assert summary["store_hits"] == sum(len(s) for s in sweeps) * len(FAST_ALGORITHMS)
+    record_store(
+        {
+            "campaign_hits": summary["store_hits"],
+            "campaign_misses": summary["store_misses"],
+            "campaign_dedup": summary["store_dedup"],
+        }
+    )
+    with capsys.disabled():
+        print()
+        print("=== Campaign rerun on a shared store (ATT 1+2 failures) ===")
+        print(
+            render_table(
+                ("stage", "wall (s)", "hits"),
+                [(
+                    "campaign_shared_store_s",
+                    f"{campaign_s:.3f}",
+                    f"{summary['store_hits']}/{summary['store_hits']}",
+                )],
             )
         )
 

@@ -31,6 +31,12 @@ Rules
   :class:`~repro.resilience.supervisor.SweepSupervisor`) must stay
   within ``SUPERVISED_OVERHEAD`` of ``sweep_reuse_s`` — the watchdog,
   breakers and retry ledger are bookkeeping, not a second sweep.
+* Store-hit replay is likewise a same-run invariant:
+  ``sweep_memo_hit_s`` (re-sweeping a store populated moments earlier)
+  must be at most ``sweep_reuse_s / 5``, and the headline's ``store``
+  section must show the memo stages actually hitting (nonzero hits,
+  zero misses) — a replay that quietly re-solved everything would
+  otherwise time the solver and call it a cache.
 * When the kill-worker chaos stage ran (``sweep_quarantine_s``), its
   ``degraded_solves`` entry must be non-zero: quarantined scenarios
   that vanish from the headline are the silent-degradation blindspot
@@ -216,6 +222,79 @@ def compare_quarantine_visibility(
     return []
 
 
+#: The store-hit replay must beat the warm executor sweep by this factor.
+MEMO_HIT_SPEEDUP = 5.0
+
+
+def compare_memo_hit(
+    current: dict[str, float], speedup: float = MEMO_HIT_SPEEDUP
+) -> list[str]:
+    """Failure messages when store-hit replay stopped paying off.
+
+    ``sweep_memo_hit_s`` replays the very sweep ``sweep_reuse_s`` solves
+    on a warm executor in the same run, so like the reuse guard this is
+    a same-run invariant immune to runner speed: replaying solved
+    records from the solve store must beat re-solving them — even on a
+    warm pool — by a wide margin, or the memo layer is just overhead.
+    Runs predating the store pass vacuously.
+    """
+    hit_s = current.get("sweep_memo_hit_s")
+    reuse_s = current.get("sweep_reuse_s")
+    if hit_s is None or reuse_s is None:
+        return []
+    if hit_s > reuse_s / speedup:
+        return [
+            f"sweep_memo_hit_s: {hit_s:.4f}s is not {speedup:g}x faster than "
+            f"the same run's warm sweep_reuse_s {reuse_s:.4f}s — store-hit "
+            f"replay has regressed to re-solving cost"
+        ]
+    return []
+
+
+def load_store(path: Path) -> dict[str, object]:
+    """The ``store`` section; empty for pre-section headlines."""
+    store = load_headline(path).get("store", {})
+    if not isinstance(store, dict):
+        raise SystemExit(f"{path}: store must be a mapping")
+    return store
+
+
+def compare_store_visibility(
+    stages: dict[str, float], store: dict[str, object]
+) -> list[str]:
+    """Failure messages when the memo stages' hits went dark.
+
+    The hit-replay benchmark re-sweeps a store it just populated, so
+    every solve must be a hit and none a miss; a headline that times the
+    stage but counts zero hits (or any miss) means the sweep quietly
+    re-solved everything — the timing would measure solver speed, not
+    replay, and the speedup guard above would pass on a lie.  Same for
+    the shared-store campaign rerun.
+    """
+    failures = []
+    checks = (
+        ("sweep_memo_hit_s", "memo_hits", "memo_misses"),
+        ("campaign_shared_store_s", "campaign_hits", "campaign_misses"),
+    )
+    for stage, hits_key, misses_key in checks:
+        if stage not in stages:
+            continue
+        hits = store.get(hits_key)
+        misses = store.get(misses_key)
+        if not hits:
+            failures.append(
+                f"{stage}: the stage ran but the store section counts no "
+                f"{hits_key} — the replay sweep is not hitting the store"
+            )
+        if misses:
+            failures.append(
+                f"{stage}: the store section counts {misses} {misses_key} "
+                f"on a store the same run just populated — scenario "
+                f"fingerprints are no longer stable across sweeps"
+            )
+    return failures
+
+
 def compare_executor_reuse(
     current: dict[str, float], speedup: float = REUSE_SPEEDUP
 ) -> list[str]:
@@ -276,7 +355,15 @@ def main(argv: list[str] | None = None) -> int:
     baseline = load_stages(args.baseline)
     failures = compare(current, baseline, args.tolerance, args.floor_s)
     failures += compare_executor_reuse(current)
+    failures += compare_memo_hit(current)
     failures += compare_supervised_overhead(current)
+    cur_store = load_store(args.current)
+    failures += compare_store_visibility(current, cur_store)
+    if cur_store:
+        print(
+            "store: "
+            + " ".join(f"{k}={v}" for k, v in sorted(cur_store.items()))
+        )
     cur_degraded = load_degraded(args.current)
     failures += compare_degraded(
         cur_degraded, load_degraded(args.baseline), args.degraded_slack

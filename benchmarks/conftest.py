@@ -41,6 +41,10 @@ _DEGRADED_SOLVES: dict[str, int] = {}
 #: sweep — written as the headline's ``fanout`` section so CI can catch
 #: the shm route silently regressing to pickle-scale payloads.
 _FANOUT: dict[str, object] = {}
+#: Cross-run solve-store counters (hits/misses/dedup per memo stage) —
+#: written as the headline's ``store`` section so CI can see whether the
+#: memo-hit stage actually replayed from the store or quietly re-solved.
+_STORE: dict[str, object] = {}
 
 
 def record_stage(name: str, seconds: float) -> None:
@@ -85,6 +89,16 @@ def record_fanout(summary: dict[str, object]) -> None:
     _FANOUT.update(summary)
 
 
+def record_store(summary: dict[str, object]) -> None:
+    """Record solve-store hit/miss/dedup counters for the headline.
+
+    Callers prefix their keys by stage (``memo_hits``,
+    ``campaign_hits``, ...); the merged dict lands as the headline's
+    ``store`` section.
+    """
+    _STORE.update(summary)
+
+
 def pytest_sessionfinish(session, exitstatus):
     """Write BENCH_headline.json if any stage was timed this session."""
     if not _STAGES:
@@ -100,6 +114,8 @@ def pytest_sessionfinish(session, exitstatus):
     }
     if _FANOUT:
         payload["fanout"] = dict(sorted(_FANOUT.items()))
+    if _STORE:
+        payload["store"] = dict(sorted(_STORE.items()))
     BENCH_HEADLINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 
 

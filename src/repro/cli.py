@@ -43,6 +43,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--optimal-time-limit", type=float, default=120.0,
         help="seconds before Optimal gives up on a case",
     )
+    parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help=(
+            "directory of a cross-run solve store: sweeps memoize their "
+            "solves there and replay them bit-identically on later runs "
+            "(fig/fig7/export commands)"
+        ),
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("info", help="summarize the default evaluation setup")
@@ -101,6 +109,14 @@ def _context(args: argparse.Namespace):
     return default_att_context(capacity=args.capacity, counter_strategy=args.counter)
 
 
+def _store(args: argparse.Namespace):
+    if not getattr(args, "store", None):
+        return None
+    from repro.perf.store import SolveStore
+
+    return SolveStore(args.store)
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     context = _context(args)
     topo = context.topology
@@ -126,6 +142,7 @@ def _cmd_fig(args: argparse.Namespace) -> int:
         args.failures,
         algorithms,
         optimal_time_limit_s=args.optimal_time_limit,
+        store=_store(args),
     )
     print(render_figure(data))
     ratios = headline_ratios(data)
@@ -139,7 +156,15 @@ def _cmd_fig(args: argparse.Namespace) -> int:
 
 
 def _cmd_fig7(args: argparse.Namespace) -> int:
-    print(render_fig7(fig7_data(_context(args), optimal_time_limit_s=args.optimal_time_limit)))
+    print(
+        render_fig7(
+            fig7_data(
+                _context(args),
+                optimal_time_limit_s=args.optimal_time_limit,
+                store=_store(args),
+            )
+        )
+    )
     return 0
 
 
@@ -188,6 +213,7 @@ def _cmd_export(args: argparse.Namespace) -> int:
         args.failures,
         algorithms,
         optimal_time_limit_s=args.optimal_time_limit,
+        store=_store(args),
     )
     if args.out.endswith(".csv"):
         write_csv(args.out, data)

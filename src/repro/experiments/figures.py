@@ -78,6 +78,7 @@ def failure_figure_data(
     parallel: bool = True,
     max_workers: int | None = None,
     executor: object = None,
+    store: object = None,
 ) -> dict[str, Any]:
     """All per-case series for an ``n_failures``-failure figure.
 
@@ -88,7 +89,9 @@ def failure_figure_data(
     pool's ``min_parallel_tasks`` heuristic) — set ``parallel=False``
     to force the in-process serial sweep, or pass a warm ``executor``
     (:class:`~repro.perf.executor.SweepExecutor`) when generating
-    several figures over one context.
+    several figures over one context.  ``store`` memoizes solves in a
+    :class:`~repro.perf.store.SolveStore`, so regenerating a figure
+    replays earlier runs' solves bit-identically.
     """
     if results is None:
         if parallel:
@@ -99,6 +102,7 @@ def failure_figure_data(
                 optimal_time_limit_s,
                 max_workers=max_workers,
                 executor=executor,
+                store=store,
             )
         else:
             results = run_failure_sweep(
@@ -136,6 +140,7 @@ def fig7_data(
     parallel: bool = True,
     max_workers: int | None = None,
     executor: object = None,
+    store: object = None,
 ) -> dict[str, Any]:
     """Fig. 7 — PM computation time as a percentage of Optimal's.
 
@@ -158,6 +163,7 @@ def fig7_data(
                 optimal_time_limit_s,
                 max_workers=max_workers,
                 executor=executor,
+                store=store,
             )
         else:
             results = run_failure_sweep(

@@ -139,6 +139,7 @@ def run_failure_sweep_parallel(
     incremental: bool = False,
     executor: object = None,
     supervisor: object = None,
+    store: object = None,
 ) -> list[ScenarioResult]:
     """:func:`run_failure_sweep` fanned over a process pool.
 
@@ -165,7 +166,9 @@ def run_failure_sweep_parallel(
     sweeps run back to back over one context.  ``supervisor`` threads a
     :class:`~repro.resilience.supervisor.SweepSupervisor` through the
     warm route (deadlines, quarantine, circuit breakers); see
-    ``docs/robustness.md``.
+    ``docs/robustness.md``.  ``store`` memoizes solves across runs and
+    parent processes through a :class:`~repro.perf.store.SolveStore`
+    (content-addressed, bit-identical hits; see ``docs/performance.md``).
     """
     from repro.perf.sweep import parallel_sweep
 
@@ -185,4 +188,5 @@ def run_failure_sweep_parallel(
         incremental=incremental,
         executor=executor,
         supervisor=supervisor,
+        store=store,
     )

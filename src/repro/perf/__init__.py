@@ -39,6 +39,13 @@ that cheap:
     SweepExecutor` keeps workers (and their decoded plans, contexts and
     compiled shapes) alive across sweeps, and :func:`~repro.perf.
     executor.run_campaign` streams many sweeps over one warm executor.
+
+:mod:`repro.perf.store`
+    Cross-run solve memoization: a disk-backed, content-addressed
+    :class:`~repro.perf.store.SolveStore` shared by concurrent parent
+    processes and successive runs — canonical instance fingerprints
+    dedupe structurally equivalent scenarios to one solve, and store
+    hits replay bit-identically to fresh solves.
 """
 
 from repro.perf.coefficients import CoefficientArrays, CoefficientTable
@@ -75,7 +82,20 @@ from repro.perf.shm import (
     loads_shared,
     shm_available,
 )
-from repro.perf.sweep import ShmPlanData, SweepPlan, fanout_summary, parallel_sweep
+from repro.perf.store import (
+    SolveStore,
+    canonical_instance,
+    instance_fingerprint,
+    solve_key,
+    topology_fingerprint,
+)
+from repro.perf.sweep import (
+    ShmPlanData,
+    SweepPlan,
+    fanout_summary,
+    parallel_sweep,
+    store_summary,
+)
 
 __all__ = [
     "CoefficientTable",
@@ -93,6 +113,12 @@ __all__ = [
     "ShmPlanData",
     "parallel_sweep",
     "fanout_summary",
+    "store_summary",
+    "SolveStore",
+    "canonical_instance",
+    "instance_fingerprint",
+    "solve_key",
+    "topology_fingerprint",
     "SweepExecutor",
     "get_default_executor",
     "close_default_executor",

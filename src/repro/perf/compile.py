@@ -235,6 +235,17 @@ class FMSSMCompiler:
         """
         return {key: self._shape_arrays(*key) for key in dict.fromkeys(shapes)}
 
+    def cached_shapes(
+        self,
+    ) -> dict[tuple[int, int, int], dict[str, np.ndarray]]:
+        """A snapshot of the currently cached shape arrays.
+
+        The cross-run store (:mod:`repro.perf.store`) persists these as
+        named artifacts after a sweep, so a cold process adopts them
+        from disk instead of rebuilding the structural blocks.
+        """
+        return dict(self._shapes)
+
     def adopt_shapes(
         self, mapping: dict[tuple[int, int, int], dict[str, np.ndarray]]
     ) -> None:

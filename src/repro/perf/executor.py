@@ -169,9 +169,18 @@ class SweepExecutor:
 
     _ids = itertools.count(1)
 
-    def __init__(self, max_workers: int | None = None, max_cached_contexts: int = 4):
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        max_cached_contexts: int = 4,
+        store: "SolveStore | None" = None,  # noqa: F821
+    ):
         self.max_workers = max_workers or os.cpu_count() or 1
         self.max_cached_contexts = max(1, max_cached_contexts)
+        #: Optional cross-run :class:`~repro.perf.store.SolveStore`:
+        #: every sweep submitted to this executor memoizes through it
+        #: unless the sweep passes its own ``store=`` explicitly.
+        self.store = store
         #: Distinguishes this executor's cache keys from any other's
         #: (worker processes can outlive an executor only within one
         #: parent, so a process-local counter suffices).
@@ -179,7 +188,9 @@ class SweepExecutor:
         self._pool: ProcessPoolExecutor | None = None
         self._broken = False
         self._closed = False
-        self._contexts: OrderedDict[int, _ContextEntry] = OrderedDict()
+        # Keyed by (context id, prefer_shm): one context may be cached
+        # for both transports at once (half-open probe rounds).
+        self._contexts: OrderedDict[tuple[int, bool], _ContextEntry] = OrderedDict()
         self._generations = itertools.count(1)
         self._chaos_nonces = itertools.count(1)
         #: Observability counters (sweeps, encode hits/misses, respawns,
@@ -279,12 +290,16 @@ class SweepExecutor:
 
         A hit requires the same context object with the same
         materialized table, encoded for the same transport preference;
-        anything else re-encodes under a fresh generation, releasing the
-        stale entry's lease.  Raises whatever the encode raises
+        a changed table re-encodes under a fresh generation, releasing
+        the stale entry's lease.  The two transport preferences cache
+        *separately* — a supervisor probing the shm route holds shm and
+        pickle headers for one context at once, so encoding the pickle
+        fallback must not release the shm entry's segment out from
+        under in-flight futures.  Raises whatever the encode raises
         (unpicklable contexts) — callers fall back to serial execution.
         """
         self._require_open()
-        key = id(context)
+        key = (id(context), bool(prefer_shm))
         table = getattr(context, "_table", None)
         entry = self._contexts.get(key)
         if (
@@ -572,7 +587,10 @@ def run_campaign(
 
     ``executor=None`` uses :func:`get_default_executor` (left open for
     later campaigns); additional keyword arguments pass through to
-    :func:`~repro.perf.sweep.parallel_sweep`.
+    :func:`~repro.perf.sweep.parallel_sweep`.  A cross-run
+    :class:`~repro.perf.store.SolveStore` (``store=`` here or attached
+    to the executor) memoizes every sweep of the campaign; the store's
+    size-bounded GC runs once when the campaign completes.
     """
     from repro.perf.incremental import hamming_chain
     from repro.perf.sweep import parallel_sweep
@@ -658,6 +676,11 @@ def run_campaign(
         # Kept (compacted) rather than deleted: rerunning the finished
         # campaign replays every sweep from the journal for free.
         journal.compact()
+    store = sweep_kwargs.get("store") or (
+        executor.store if executor is not None else None
+    )
+    if store is not None:
+        store.gc()
 
 
 def campaign_summary(
@@ -681,6 +704,9 @@ def campaign_summary(
         "preempted": 0,
         "quarantined": 0,
         "restored": 0,
+        "store_hits": 0,
+        "store_misses": 0,
+        "store_dedup": 0,
         "evictions": {},
     }
     evictions: dict[str, int] = summary["evictions"]  # type: ignore[assignment]
@@ -688,6 +714,12 @@ def campaign_summary(
         summary["sweeps"] += 1
         for result in results:
             summary["scenarios"] += 1
+            stamp = getattr(result, "meta", {}).get("store")
+            if stamp is not None:
+                summary["store_hits"] += len(stamp.get("hits", ()))
+                summary["store_misses"] += len(stamp.get("misses", ()))
+                if stamp.get("dedup_of"):
+                    summary["store_dedup"] += 1
             degradation = getattr(result, "degradation", None)
             events = () if degradation is None else degradation.events
             if degradation is not None and degradation.degraded:

@@ -54,7 +54,9 @@ from repro.types import FLOWVISOR_PROCESSING_MS, ControllerId, FlowId, NodeId
 __all__ = [
     "DEFAULT_KERNEL",
     "InstanceArrays",
+    "adopt_instance_prep",
     "dict_kernel_reference",
+    "export_instance_prep",
     "instance_arrays",
     "prepare_instance",
     "resolve_kernel",
@@ -198,29 +200,45 @@ def instance_arrays(instance: FMSSMInstance) -> InstanceArrays:
         flow_pos = {f: i for i, f in enumerate(flow_ids)}
         controller_pos = {c: j for j, c in enumerate(controllers)}
 
-        delay = np.fromiter(
-            (instance.delay[(s, c)] for s in switches for c in controllers),
-            dtype=np.float64,
-            count=n * m,
-        ).reshape(n, m)
+        prep = instance.__dict__.pop("_instance_prep", None)
+        if prep is not None and (
+            prep["delay"].shape != (n, m)
+            or len(prep["flow_sorted"]) != n_pairs
+            or len(prep["flow_indptr"]) != len(flow_ids) + 1
+        ):
+            prep = None  # foreign/stale seed: rebuild from scratch
+
+        if prep is not None:
+            delay = prep["delay"]
+        else:
+            delay = np.fromiter(
+                (instance.delay[(s, c)] for s in switches for c in controllers),
+                dtype=np.float64,
+                count=n * m,
+            ).reshape(n, m)
         pair_flow = np.fromiter(
             (flow_pos[f] for _, f in instance.pairs), dtype=np.int64, count=n_pairs
         )
         pair_pbar = pa.pbar
         pair_switch = pa.switch_code
-        # Flow-major pair grouping, within a flow by (-p̄, switch): the
-        # trailing np.arange key keeps ascending pair index (= ascending
-        # switch id, pairs being lexicographic) among equal p̄.
-        flow_sorted = np.lexsort((np.arange(n_pairs), -pair_pbar, pair_flow))
-        flow_indptr = np.searchsorted(
-            pair_flow[flow_sorted], np.arange(len(flow_ids) + 1)
-        )
-        flow_max_pro = (
-            np.bincount(pair_flow, weights=pair_pbar, minlength=len(flow_ids))
-            .astype(np.int64)
-            if n_pairs
-            else np.zeros(len(flow_ids), dtype=np.int64)
-        )
+        if prep is not None:
+            flow_sorted = prep["flow_sorted"]
+            flow_indptr = prep["flow_indptr"]
+            flow_max_pro = prep["flow_max_pro"]
+        else:
+            # Flow-major pair grouping, within a flow by (-p̄, switch): the
+            # trailing np.arange key keeps ascending pair index (= ascending
+            # switch id, pairs being lexicographic) among equal p̄.
+            flow_sorted = np.lexsort((np.arange(n_pairs), -pair_pbar, pair_flow))
+            flow_indptr = np.searchsorted(
+                pair_flow[flow_sorted], np.arange(len(flow_ids) + 1)
+            )
+            flow_max_pro = (
+                np.bincount(pair_flow, weights=pair_pbar, minlength=len(flow_ids))
+                .astype(np.int64)
+                if n_pairs
+                else np.zeros(len(flow_ids), dtype=np.int64)
+            )
         cached = InstanceArrays(
             switches=switches,
             controllers=controllers,
@@ -236,7 +254,11 @@ def instance_arrays(instance: FMSSMInstance) -> InstanceArrays:
                 (instance.gamma[s] for s in switches), dtype=np.int64, count=n
             ),
             delay=delay,
-            delay_order=np.argsort(delay, axis=1, kind="stable"),
+            delay_order=(
+                prep["delay_order"]
+                if prep is not None
+                else np.argsort(delay, axis=1, kind="stable")
+            ),
             pair_switch=pair_switch,
             pair_flow=pair_flow,
             pair_pbar=pair_pbar,
@@ -249,10 +271,54 @@ def instance_arrays(instance: FMSSMInstance) -> InstanceArrays:
                 dtype=np.int64,
                 count=len(instance.recoverable_flows),
             ),
-            pbar_desc=np.argsort(-pair_pbar, kind="stable"),
+            pbar_desc=(
+                prep["pbar_desc"]
+                if prep is not None
+                else np.argsort(-pair_pbar, kind="stable")
+            ),
         )
         instance.__dict__["_instance_arrays"] = cached
     return cached
+
+
+#: Derived columns of :class:`InstanceArrays` worth persisting: pure
+#: functions of canonical instance content (positions, not labels), so
+#: any instance with the same content fingerprint can adopt them.
+_PREP_KEYS = (
+    "delay", "delay_order", "flow_sorted", "flow_indptr", "flow_max_pro",
+    "pbar_desc",
+)
+
+
+def export_instance_prep(instance: FMSSMInstance) -> dict[str, np.ndarray] | None:
+    """The persistable derived arrays of a built instance view.
+
+    Returns ``None`` when the view was never built (nothing to save).
+    Used by the cross-run store (:mod:`repro.perf.store`) to skip the
+    sort/argsort work on later processes via :func:`adopt_instance_prep`.
+    """
+    arrays = instance.__dict__.get("_instance_arrays")
+    if arrays is None:
+        return None
+    return {key: np.asarray(getattr(arrays, key)) for key in _PREP_KEYS}
+
+
+def adopt_instance_prep(
+    instance: FMSSMInstance, prep: dict[str, np.ndarray]
+) -> None:
+    """Seed a not-yet-built instance view with persisted derived arrays.
+
+    A no-op once the view exists; shape-inconsistent seeds are discarded
+    at build time, so adopting a foreign artifact can never corrupt the
+    arrays — worst case the sorts are recomputed.
+    """
+    if "_instance_arrays" in instance.__dict__:
+        return
+    if not all(key in prep for key in _PREP_KEYS):
+        return
+    instance.__dict__["_instance_prep"] = {
+        key: np.asarray(prep[key]) for key in _PREP_KEYS
+    }
 
 
 def prepare_instance(instance: FMSSMInstance) -> InstanceArrays:

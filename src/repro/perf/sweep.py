@@ -92,13 +92,29 @@ from repro.resilience.checkpoint import (
     result_to_json,
     sweep_fingerprint,
 )
+from repro.perf.store import (
+    SolveStore,
+    canonical_evaluation,
+    canonical_instance,
+    canonical_solution,
+    decode_record,
+    solution_from_canonical,
+    solve_key,
+    topology_fingerprint,
+)
 from repro.resilience.degradation import (
     DegradationReport,
     LadderPolicy,
     solve_with_ladder,
 )
 
-__all__ = ["SweepPlan", "ShmPlanData", "parallel_sweep", "fanout_summary"]
+__all__ = [
+    "SweepPlan",
+    "ShmPlanData",
+    "parallel_sweep",
+    "fanout_summary",
+    "store_summary",
+]
 
 #: Recognized values of ``parallel_sweep``'s ``transport`` parameter.
 _TRANSPORTS = ("auto", "shm", "pickle")
@@ -362,6 +378,7 @@ class _SweepRunner:
         checkpoint_every: int,
         transport: str = "auto",
         incremental: bool = False,
+        store: SolveStore | None = None,
     ) -> None:
         from repro.experiments.runner import ScenarioResult
 
@@ -376,6 +393,17 @@ class _SweepRunner:
         self.checkpoint_every = max(1, checkpoint_every)
         self.transport = transport
         self.incremental = incremental
+        self.store = store
+        #: (index, algorithm) tasks withheld from the pool because an
+        #: equivalent scenario (same instance fingerprint) solves them;
+        #: values name the representative index.  Settled after the run.
+        self.deferred: dict[tuple[int, str], int] = {}
+        #: (index, algorithm) pairs satisfied from the store (probe hits).
+        self._hits: set[tuple[int, str]] = set()
+        #: Probe-time grounding per scenario index: (instance, canonical).
+        self._grounded: dict[int, tuple] = {}
+        #: Per-scenario store provenance stamped on ``meta["store"]``.
+        self._provenance: dict[int, dict] = {}
         #: Fan-out transport stats of the last pool launch, if any.
         self.fanout: FanoutStats | None = None
         self.results = [
@@ -461,14 +489,267 @@ class _SweepRunner:
             self._scenario_done(index)
 
     def pending_tasks(self) -> list[tuple[int, str]]:
-        """Remaining (scenario index, algorithm) tasks, deterministic order."""
+        """Remaining (scenario index, algorithm) tasks, deterministic order.
+
+        Tasks deferred to an equivalence-class representative (see
+        :meth:`probe_store`) are excluded — they are settled from the
+        representative's solution after execution, not solved.
+        """
         return [
             (index, algorithm)
             for index in range(len(self.scenarios))
             if index not in self.completed
             for algorithm in self.algorithms
             if algorithm not in self.results[index].solutions
+            and (index, algorithm) not in self.deferred
         ]
+
+    # -- cross-run store ------------------------------------------------
+    def _instance(self, index: int) -> FMSSMInstance:
+        """Ground scenario ``index`` (reusing the store probe's instance)."""
+        cached = self._grounded.get(index)
+        if cached is not None:
+            return cached[0]
+        return self.context.instance(self.scenarios[index])
+
+    def _hit_solution(self, instance, solution) -> bool:
+        """Whether a store hit passes the independent validator.
+
+        Runs only when the sweep itself runs with ``validate=True`` —
+        the exact policy :func:`_solve` applies to fresh solves (records
+        are already checksummed, so this guards against a store from an
+        incompatible build, not disk corruption).  Exact solves must
+        honor the delay bound, flow-level baselines legitimately trade
+        it off.  An invalid hit is treated as a miss.
+        """
+        if not self.validate:
+            return True
+        from repro.resilience.validate import validate_solution
+
+        if not solution.feasible:
+            return True
+        enforce_delay = solution.algorithm in ("optimal", "optimal-two-stage")
+        return validate_solution(
+            instance, solution, enforce_delay=enforce_delay
+        ).ok
+
+    def _clean_for_store(self, result, solution) -> bool:
+        """Whether ``solution`` equals what a fresh default solve yields.
+
+        Demoted ladder solves and pm-fallback timeouts answer from a
+        lower rung — storing them would replay a degraded answer as a
+        pristine one — so only undemoted solves are stored or fanned out
+        to equivalence-class duplicates.
+        """
+        if solution.meta.get("degraded"):
+            return False
+        report = result.degradation
+        return report is None or not any(
+            e.action == "demote" for e in report.events
+        )
+
+    def _prime_intermediates(self) -> None:
+        """Adopt stored expensive intermediates before grounding anything.
+
+        Hop-distance tables seed the per-topology BFS cache (so a cold
+        process materializes its coefficient table without re-running
+        the BFS per destination), and the compiler's structural blocks
+        for every (N, M, P) this sweep will touch are adopted from disk
+        where present.
+        """
+        from repro.routing.path_count import adopt_hop_distances
+
+        topo_fp = topology_fingerprint(self.context.topology)
+        tables = self.store.get(f"hops:{topo_fp}")
+        if tables is not None:
+            adopt_hop_distances(
+                self.context.topology,
+                {
+                    dst: dict(pairs)
+                    for dst, pairs in
+                    (tuple(item) for item in tables["tables"])
+                },
+            )
+        if any(a in _HEAVY_ALGORITHMS for a in self.algorithms):
+            from repro.perf.compile import default_compiler
+
+            compiler = default_compiler()
+            table = self.context.materialize_table()
+            plane = self.context.plane
+            shapes = set()
+            for scenario in self.scenarios:
+                offline = scenario.offline_switches(plane)
+                shapes.add((
+                    len(offline),
+                    plane.n_controllers - scenario.n_failures,
+                    sum(len(table.flows_programmable_at(s)) for s in offline),
+                ))
+            adopted = {}
+            for key in sorted(shapes):
+                arrays = self.store.get_arrays("pprime-%d-%d-%d" % key)
+                if arrays is not None:
+                    adopted[key] = arrays
+            if adopted:
+                compiler.adopt_shapes(adopted)
+
+    def _persist_intermediates(self) -> None:
+        """Write back intermediates this sweep computed (put-if-absent)."""
+        from repro.perf.kernels import export_instance_prep
+        from repro.routing.path_count import export_hop_distances
+
+        hops_key = f"hops:{topology_fingerprint(self.context.topology)}"
+        if self.store.get(hops_key) is None:
+            tables = export_hop_distances(self.context.topology)
+            if tables:
+                self.store.put(hops_key, {
+                    "tables": [
+                        [dst, sorted(distances.items())]
+                        for dst, distances in sorted(tables.items())
+                    ],
+                })
+        if any(a in _HEAVY_ALGORITHMS for a in self.algorithms):
+            from repro.perf.compile import default_compiler
+
+            for key, arrays in default_compiler().cached_shapes().items():
+                self.store.put_arrays("pprime-%d-%d-%d" % key, arrays)
+        for index, (instance, canon) in self._grounded.items():
+            prep = export_instance_prep(instance)
+            if prep is not None:
+                self.store.put_arrays(f"prep-{canon.fingerprint}", prep)
+
+    def probe_store(self) -> None:
+        """Probe the store and dedupe equivalent scenarios before fan-out.
+
+        For every pending scenario: ground its instance, fingerprint it,
+        satisfy whatever the store already holds (validated, evaluated
+        fresh), and defer any remaining task whose fingerprint matches
+        an earlier scenario's to that representative — one solve per
+        equivalence class reaches the pool, :meth:`settle_store` fans it
+        back out.  Stamps per-scenario hit/miss provenance for
+        ``meta["store"]``.
+        """
+        from repro.perf.kernels import adopt_instance_prep
+
+        self._prime_intermediates()
+        representatives: dict[str, int] = {}
+        for index in range(len(self.scenarios)):
+            if index in self.completed:
+                continue
+            result = self.results[index]
+            pending = [
+                a for a in self.algorithms if a not in result.solutions
+            ]
+            if not pending:
+                continue
+            instance = self.context.instance(self.scenarios[index])
+            canon = canonical_instance(instance)
+            self._grounded[index] = (instance, canon)
+            provenance = self._provenance.setdefault(index, {
+                "fingerprint": canon.fingerprint,
+                "hits": [],
+                "misses": [],
+            })
+            missed: list[str] = []
+            for algorithm in pending:
+                key = solve_key(
+                    canon.fingerprint, algorithm,
+                    self.optimal_time_limit_s, self.optimal_compile,
+                )
+                record = self.store.get(key)
+                if record is not None and "solution" in record:
+                    solution, evaluation = decode_record(
+                        record, canon, instance, algorithm,
+                        self.store.sha_of(key),
+                    )
+                    if self._hit_solution(instance, solution):
+                        if evaluation is None:
+                            evaluation = evaluate_solution(instance, solution)
+                        self._hits.add((index, algorithm))
+                        provenance["hits"].append(algorithm)
+                        self._store(index, algorithm, solution, evaluation,
+                                    None)
+                        continue
+                missed.append(algorithm)
+            if not missed:
+                continue
+            # Only a scenario that will actually solve needs its cached
+            # kernel prep — pure-hit scenarios replay without it.
+            prep = self.store.get_arrays(f"prep-{canon.fingerprint}")
+            if prep is not None:
+                adopt_instance_prep(instance, prep)
+            for algorithm in missed:
+                provenance["misses"].append(algorithm)
+                representative = representatives.setdefault(
+                    canon.fingerprint, index
+                )
+                if representative != index:
+                    self.deferred[(index, algorithm)] = representative
+                    provenance["dedup_of"] = (
+                        self.scenarios[representative].name
+                    )
+
+    def settle_store(self) -> None:
+        """Fan representatives out to duplicates and write back results.
+
+        Each deferred task translates its representative's solution
+        through canonical label space onto its own instance and is
+        evaluated fresh; representatives that failed to produce a clean
+        solution (demoted, quarantined mid-round) send their duplicates
+        to a genuine serial solve instead.  Finally every clean fresh
+        solve is appended to the store (put-if-absent) and the
+        provenance stamps land on ``meta["store"]``.
+        """
+        if self.store is None:
+            return
+        leftovers = []
+        for (index, algorithm), rep in sorted(self.deferred.items()):
+            result = self.results[index]
+            if algorithm in result.solutions:
+                continue
+            rep_result = self.results[rep]
+            rep_solution = rep_result.solutions.get(algorithm)
+            if rep_solution is None or not self._clean_for_store(
+                rep_result, rep_solution
+            ):
+                leftovers.append((index, algorithm))
+                continue
+            _, rep_canon = self._grounded[rep]
+            instance, canon = self._grounded[index]
+            solution = solution_from_canonical(
+                canonical_solution(rep_solution, rep_canon), canon
+            )
+            evaluation = evaluate_solution(instance, solution)
+            self._store(index, algorithm, solution, evaluation, None)
+        if leftovers:
+            dropped = {task: self.deferred.pop(task) for task in leftovers}
+            for index, _ in dropped:
+                self._provenance.get(index, {}).pop("dedup_of", None)
+            self.run_serial(sorted(dropped))
+        records = []
+        for index, (instance, canon) in sorted(self._grounded.items()):
+            result = self.results[index]
+            for algorithm, solution in result.solutions.items():
+                if (index, algorithm) in self._hits:
+                    continue
+                if (index, algorithm) in self.deferred:
+                    continue
+                if not self._clean_for_store(result, solution):
+                    continue
+                key = solve_key(
+                    canon.fingerprint, algorithm,
+                    self.optimal_time_limit_s, self.optimal_compile,
+                )
+                records.append((key, {
+                    "solution": canonical_solution(solution, canon),
+                    "evaluation": canonical_evaluation(
+                        result.evaluations[algorithm], canon
+                    ),
+                }))
+        if records:
+            self.store.put_many(records)
+        self._persist_intermediates()
+        for index, provenance in self._provenance.items():
+            self.results[index].meta["store"] = dict(provenance)
 
     # -- incremental chaining ------------------------------------------
     def chain_plan(
@@ -505,7 +786,7 @@ class _SweepRunner:
                 self._store(*row)
             return
         for index, group in itertools.groupby(tasks, key=lambda t: t[0]):
-            instance = self.context.instance(self.scenarios[index])
+            instance = self._instance(index)
             prepare_instance(instance)
             solved = []
             for _, algorithm in group:
@@ -531,7 +812,7 @@ class _SweepRunner:
         warm_chain = WarmChain()
         (segment,) = self.chain_plan(tasks, 1)
         for index, algorithms in segment:
-            instance = self.context.instance(self.scenarios[index])
+            instance = self._instance(index)
             prepare_instance(instance)
             solved = []
             for algorithm in algorithms:
@@ -860,7 +1141,7 @@ class _SweepRunner:
 
         result = self.results[index]
         ladder = self.ladder or default_ladder(self.optimal_time_limit_s)
-        instance = self.context.instance(self.scenarios[index])
+        instance = self._instance(index)
         prepare_instance(instance)
         solved = []
         for algorithm in self.algorithms:
@@ -955,9 +1236,6 @@ class _SweepRunner:
         executor.stats["sweeps"] += 1
         base_ladder = self.ladder
         base_transport = self.transport
-        deadline_s = supervisor.task_deadline_s(
-            base_ladder, self.optimal_time_limit_s
-        )
         heavy = any(a in _HEAVY_ALGORITHMS for a in self.algorithms)
         pool_restarts = 0
         # One header per effective (ladder, transport) route for the whole
@@ -977,60 +1255,107 @@ class _SweepRunner:
                 self.ladder = supervisor.effective_ladder(base_ladder)
                 self.transport = supervisor.effective_transport(base_transport)
                 ladder_round = self.ladder
-                cached = next(
-                    (
-                        (h, s)
-                        for ladder, transport, h, s in headers
-                        if ladder == ladder_round and transport == self.transport
-                    ),
-                    None,
+                # Re-derived every round: rung-latency EWMAs observed in
+                # earlier rounds (and earlier sweeps of the campaign)
+                # tighten the watchdog for this one.
+                deadline_s = supervisor.task_deadline_s(
+                    base_ladder, self.optimal_time_limit_s
                 )
-                if cached is None:
+
+                def _route_header(transport: str):
+                    cached = next(
+                        (
+                            (h, s)
+                            for ladder, tp, h, s in headers
+                            if ladder == ladder_round and tp == transport
+                        ),
+                        None,
+                    )
+                    if cached is not None:
+                        return cached
+                    previous = self.transport
+                    self.transport = transport
                     try:
-                        header, stats = self._warm_header(executor)
-                    except Exception as exc:  # unpicklable context: stay serial
+                        built = self._warm_header(executor)
+                    finally:
+                        self.transport = previous
+                    headers.append((ladder_round, transport, *built))
+                    return built
+
+                try:
+                    header, stats = _route_header(self.transport)
+                except Exception as exc:  # unpicklable context: stay serial
+                    self._warn_fallback(
+                        f"sweep plan failed to encode ({exc!r})"
+                    )
+                    return False
+                self.fanout = stats
+
+                # Half-open transport trial: only ``probe_quota`` units
+                # ride the shm route; the rest of the round takes the
+                # known-good pickle header, bounding a failed trial's
+                # blast radius to the probe batch.
+                probe_quota = (
+                    supervisor.transport_probe_quota()
+                    if self.transport != "pickle"
+                    and stats.transport == "warm-shm"
+                    else None
+                )
+                fallback_header = header
+                if probe_quota is not None:
+                    try:
+                        fallback_header, _ = _route_header("pickle")
+                    except Exception as exc:
                         self._warn_fallback(
                             f"sweep plan failed to encode ({exc!r})"
                         )
                         return False
-                    headers.append((ladder_round, self.transport, header, stats))
-                else:
-                    header, stats = cached
-                self.fanout = stats
 
                 units: dict = {}
                 processed: set = set()
                 running_seen: set = set()
                 deadlines: dict = {}
+                probe_futures: "set | None" = (
+                    None if probe_quota is None else set()
+                )
+                probe_done: set = set()
                 try:
                     pool = executor.pool()
                     if self.incremental:
                         chunked = True
-                        for segment in self.chain_plan(tasks, workers):
-                            unit = tuple(
-                                (i, a) for i, algos in segment for a in algos
+                        submissions = [
+                            (
+                                executor_mod._warm_run_chain,
+                                segment,
+                                tuple((i, a) for i, algos in segment for a in algos),
                             )
-                            future = pool.submit(
-                                executor_mod._warm_run_chain, header, segment
-                            )
-                            units[future] = unit
+                            for segment in self.chain_plan(tasks, workers)
+                        ]
                     elif heavy:
                         chunked = False
-                        for task in tasks:
-                            future = pool.submit(
-                                executor_mod._warm_run_task, header, task
-                            )
-                            units[future] = (task,)
+                        submissions = [
+                            (executor_mod._warm_run_task, task, (task,))
+                            for task in tasks
+                        ]
                     else:
                         chunked = True
                         size = -(-len(tasks) // workers)
-                        for k in range(workers):
-                            chunk = list(tasks[k * size:(k + 1) * size])
-                            if chunk:
-                                future = pool.submit(
-                                    executor_mod._warm_run_chunk, header, chunk
-                                )
-                                units[future] = tuple(chunk)
+                        submissions = [
+                            (executor_mod._warm_run_chunk, chunk, tuple(chunk))
+                            for chunk in (
+                                list(tasks[k * size:(k + 1) * size])
+                                for k in range(workers)
+                            )
+                            if chunk
+                        ]
+                    for n, (fn, payload, unit) in enumerate(submissions):
+                        on_probe = probe_quota is None or n < probe_quota
+                        future = pool.submit(
+                            fn, header if on_probe else fallback_header, payload
+                        )
+                        units[future] = unit
+                        if probe_futures is not None and on_probe:
+                            probe_futures.add(future)
 
                     pending = set(units)
                     preempted = False
@@ -1058,10 +1383,19 @@ class _SweepRunner:
                                 continue
                             processed.add(future)
                             stored_rows = True
+                            if probe_futures is not None and future in probe_futures:
+                                probe_done.add(future)
                             rows = outcome if chunked else [outcome]
                             for row in rows:
                                 self._store(*row)
                                 supervisor.observe_report(row[4])
+                                if base_ladder is None:
+                                    # Ladderless sweeps have no rung
+                                    # events; the solve wall-clock feeds
+                                    # the generic "task" EWMA instead.
+                                    supervisor.observe_latency(
+                                        "task", row[2].solve_time_s
+                                    )
 
                         now = supervisor.clock()
                         for future in pending:
@@ -1106,7 +1440,18 @@ class _SweepRunner:
                             for future in list(pending):
                                 future.cancel()
 
-                    if (
+                    if probe_futures is not None:
+                        # Half-open trial: the probe batch alone decides.
+                        # Every probe unit must have returned results over
+                        # shm — cancelled/faulted probes don't count.
+                        if (
+                            not preempted
+                            and not transport_fault
+                            and probe_futures
+                            and probe_done == probe_futures
+                        ):
+                            supervisor.observe_transport(True)
+                    elif (
                         not preempted
                         and not pending
                         and stored_rows
@@ -1215,6 +1560,32 @@ def fanout_summary(results: "Sequence[ScenarioResult]") -> dict[str, object] | N
     return None
 
 
+def store_summary(results: "Sequence[ScenarioResult]") -> dict[str, object] | None:  # noqa: F821
+    """Aggregate store hit/miss/dedup provenance of one sweep's results.
+
+    Sums the per-scenario ``meta["store"]`` stamps; ``None`` when the
+    sweep ran without a store (or the store was bypassed under chaos).
+    """
+    hits = misses = dedup = stamped = 0
+    for result in results:
+        stamp = result.meta.get("store")
+        if stamp is None:
+            continue
+        stamped += 1
+        hits += len(stamp.get("hits", ()))
+        misses += len(stamp.get("misses", ()))
+        if stamp.get("dedup_of"):
+            dedup += 1
+    if stamped == 0:
+        return None
+    return {
+        "scenarios": stamped,
+        "hits": hits,
+        "misses": misses,
+        "dedup": dedup,
+    }
+
+
 def parallel_sweep(
     context: "ExperimentContext",  # noqa: F821
     scenarios: Sequence[FailureScenario],
@@ -1231,6 +1602,7 @@ def parallel_sweep(
     incremental: bool = False,
     executor: "SweepExecutor | None" = None,  # noqa: F821
     supervisor: "SweepSupervisor | None" = None,  # noqa: F821
+    store: SolveStore | None = None,
 ) -> "list[ScenarioResult]":  # noqa: F821
     """Run ``scenarios`` × ``algorithms`` over a process pool.
 
@@ -1279,6 +1651,16 @@ def parallel_sweep(
     route (the default executor is used when none is passed); with no
     faults observed the supervised sweep is bit-identical to the
     unsupervised one.
+
+    ``store`` memoizes solves across parent processes and runs through a
+    :class:`~repro.perf.store.SolveStore`: scenarios whose canonical
+    instance fingerprint is already recorded restore their solutions
+    from disk (validated, with evaluations recomputed — bit-identical to
+    a fresh solve), equivalent scenarios within the sweep solve once and
+    fan out, and fresh clean solves are written back for the next run.
+    Defaults to the executor's store when one is attached.  Under an
+    active chaos plan the store is bypassed entirely so fault injection
+    still exercises real solves.
     """
     import os
 
@@ -1292,6 +1674,14 @@ def parallel_sweep(
         from repro.perf.executor import get_default_executor
 
         executor = get_default_executor(max_workers)
+    if store is None and executor is not None:
+        store = executor.store
+    if store is not None and chaos.active_plan() is not None:
+        # Replaying a recorded answer would skip the faulted code paths
+        # chaos is trying to exercise — and a faulted solve must never
+        # be recorded.  Bypass, don't nonce: the plan's purpose is to
+        # observe real solves.
+        store = None
     scenarios = tuple(scenarios)
     algorithms = tuple(algorithms)
 
@@ -1319,10 +1709,14 @@ def parallel_sweep(
         checkpoint_every,
         transport=transport,
         incremental=incremental,
+        store=store,
     )
     runner.restore()
+    if store is not None:
+        runner.probe_store()
     tasks = runner.pending_tasks()
     if not tasks:
+        runner.settle_store()
         return runner.finish()
 
     if min_parallel_tasks is None:
@@ -1361,4 +1755,5 @@ def parallel_sweep(
         runner.record_mode(f"pool: {workers} workers, {len(tasks)} tasks")
         if not runner.run_pool(tasks, workers):
             runner.run_serial(runner.pending_tasks())
+    runner.settle_store()
     return runner.finish()

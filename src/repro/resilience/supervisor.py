@@ -96,13 +96,17 @@ class CircuitBreaker:
         threshold: int = 3,
         cooldown_s: float = 60.0,
         clock: Callable[[], float] = time.monotonic,
+        probe_batch: int = 1,
     ) -> None:
         if threshold < 1:
             raise ValueError("threshold must be >= 1")
+        if probe_batch < 1:
+            raise ValueError("probe_batch must be >= 1")
         self.name = name
         self.threshold = threshold
         self.cooldown_s = cooldown_s
         self.clock = clock
+        self.probe_batch = probe_batch
         self.failures = 0  # consecutive failures while closed
         self.trips = 0  # times the breaker opened
         self._opened_at: float | None = None
@@ -139,6 +143,21 @@ class CircuitBreaker:
             )
             return True
         return False
+
+    def probe_quota(self) -> int | None:
+        """How many units may *probe* the guarded component right now.
+
+        ``None`` while closed (no limit), ``0`` while open and still
+        cooling down, and :attr:`probe_batch` once a trial is due (open
+        past its cooldown, or already half-open).  Pure — unlike
+        :meth:`allow_request` it never transitions state, so callers can
+        size a probe batch before deciding to half-open the breaker.
+        """
+        if self._opened_at is None:
+            return None
+        if self._half_open or self.clock() - self._opened_at >= self.cooldown_s:
+            return self.probe_batch
+        return 0
 
     def record_failure(self, reason: str = "") -> None:
         """One failure of the guarded component."""
@@ -186,11 +205,26 @@ class SupervisorPolicy:
     at ``min_deadline_s``.  A submission unit of *k* tasks gets *k*
     times the per-task deadline, counted from the moment the unit is
     observed running.
+
+    Observed rung latencies tighten the derivation adaptively: each
+    accepted/demoted attempt feeds an EWMA (weight ``ewma_alpha``) per
+    rung, and once a rung has an estimate it replaces that rung's static
+    time limit in the budget — a 300 s configured limit on solves that
+    finish in 2 s no longer inflates the watchdog to minutes.  Deadlines
+    stay bounded: never below ``min_deadline_s``, never above
+    ``max_deadline_s`` (when set), and an explicit ``task_deadline_s``
+    still wins outright.
     """
 
     deadline_multiplier: float = 3.0
     min_deadline_s: float = 30.0
     task_deadline_s: float | None = None
+    #: EWMA weight of the newest rung-latency observation.
+    ewma_alpha: float = 0.2
+    #: Hard upper bound on the derived deadline (``None`` = unbounded).
+    max_deadline_s: float | None = None
+    #: Submission units allowed through a half-open transport trial.
+    transport_probe_batch: int = 2
     #: Times a scenario may be charged (preempt/crash) before quarantine.
     max_task_retries: int = 2
     #: Pool respawns one sweep may consume before degrading to serial.
@@ -269,9 +303,17 @@ class SweepSupervisor:
                 threshold=self.policy.breaker_threshold,
                 cooldown_s=self.policy.breaker_cooldown_s,
                 clock=clock,
+                probe_batch=(
+                    self.policy.transport_probe_batch
+                    if name == TRANSPORT_BREAKER
+                    else 1
+                ),
             )
             for name in (*(f"rung:{r}" for r in BREAKER_RUNGS), TRANSPORT_BREAKER)
         }
+        #: EWMA of observed per-attempt latencies, keyed by rung name
+        #: (``"task"`` for ladderless sweeps).
+        self.latency_ewma: dict[str, float] = {}
         self.stats: dict[str, int] = {
             "preemptions": 0,
             "pool_crashes": 0,
@@ -284,17 +326,36 @@ class SweepSupervisor:
         self.events: list[dict[str, object]] = []
 
     # -- deadlines -----------------------------------------------------
+    def observe_latency(self, rung: str, seconds: float) -> None:
+        """Feed one observed per-attempt latency into the rung's EWMA."""
+        if seconds <= 0:
+            return
+        alpha = self.policy.ewma_alpha
+        previous = self.latency_ewma.get(rung)
+        if previous is None:
+            self.latency_ewma[rung] = seconds
+        else:
+            self.latency_ewma[rung] = alpha * seconds + (1.0 - alpha) * previous
+
     def task_deadline_s(
         self, ladder: LadderPolicy | None, optimal_time_limit_s: float
     ) -> float:
-        """The per-task deadline for one sweep's submissions."""
+        """The per-task deadline for one sweep's submissions.
+
+        Rungs with an observed-latency EWMA use it in place of their
+        static time limit, so the watchdog tightens to how long solves
+        *actually* take; unobserved rungs keep the configured budget.
+        The result is clamped to ``[min_deadline_s, max_deadline_s]``.
+        """
         policy = self.policy
         if policy.task_deadline_s is not None:
             return policy.task_deadline_s
         if ladder is not None:
             budget = 0.0
             for rung in ladder.rungs:
-                limit = rung.time_limit_s
+                limit = self.latency_ewma.get(rung.name)
+                if limit is None:
+                    limit = rung.time_limit_s
                 if limit is None:
                     limit = optimal_time_limit_s
                 attempts = rung.retries + 1
@@ -304,8 +365,11 @@ class SweepSupervisor:
                         rung.backoff_s * (2.0**a) for a in range(rung.retries)
                     )
         else:
-            budget = optimal_time_limit_s
-        return max(policy.min_deadline_s, policy.deadline_multiplier * budget)
+            budget = self.latency_ewma.get("task", optimal_time_limit_s)
+        deadline = max(policy.min_deadline_s, policy.deadline_multiplier * budget)
+        if policy.max_deadline_s is not None:
+            deadline = min(deadline, policy.max_deadline_s)
+        return deadline
 
     # -- breakers ------------------------------------------------------
     def effective_ladder(self, ladder: LadderPolicy | None) -> LadderPolicy | None:
@@ -335,16 +399,20 @@ class SweepSupervisor:
         A ``demote`` event on a guarded rung is a failure; an ``accept``
         is a success.  Called by the supervised runner for every stored
         task row, so "N consecutive failures across scenarios" is
-        literal completion order.
+        literal completion order.  Accept/demote/retry events also feed
+        their ``elapsed_s`` into the per-rung latency EWMA behind
+        :meth:`task_deadline_s`.
         """
         if not report_dict:
             return
         for event in report_dict.get("events", ()):
             rung = event.get("rung")
+            action = event.get("action")
+            if rung and action in ("accept", "demote", "retry"):
+                self.observe_latency(str(rung), float(event.get("elapsed_s", 0.0)))
             breaker = self.breakers.get(f"rung:{rung}")
             if breaker is None:
                 continue
-            action = event.get("action")
             if action == "demote":
                 before = breaker.trips
                 breaker.record_failure(str(event.get("reason", "")))
@@ -362,6 +430,18 @@ class SweepSupervisor:
                         "breaker": breaker.name,
                     })
                 breaker.record_success()
+
+    def transport_probe_quota(self) -> int | None:
+        """How many submission units may ride shm this round (pure).
+
+        ``None`` when the transport breaker is closed (no limit), ``0``
+        while it is open and cooling down, and the policy's
+        ``transport_probe_batch`` when a half-open trial is due — the
+        supervised runner sends only that many units over shm and routes
+        the rest through pickle, so one bad trial risks a bounded slice
+        of the round instead of all of it.
+        """
+        return self.breakers[TRANSPORT_BREAKER].probe_quota()
 
     def observe_transport(self, ok: bool, reason: str = "") -> None:
         """Feed one shm-route round outcome into the transport breaker."""

@@ -58,6 +58,8 @@ __all__ = [
     "LoopFreeAlternateCounter",
     "make_counter",
     "shared_hop_distances",
+    "export_hop_distances",
+    "adopt_hop_distances",
 ]
 
 #: Per-topology cache of per-destination hop-distance maps.  Counters of
@@ -84,6 +86,38 @@ def shared_hop_distances(topology: Topology, dst: NodeId) -> dict[NodeId, int]:
         distances = hop_distances_to(topology, dst)
         per_topology[dst] = distances
     return distances
+
+
+def export_hop_distances(
+    topology: Topology,
+) -> dict[NodeId, dict[NodeId, int]]:
+    """Snapshot of the topology's cached hop-distance tables.
+
+    The cross-run store (:mod:`repro.perf.store`) persists this after a
+    sweep; :func:`adopt_hop_distances` is its inverse.  Returns an empty
+    dict when nothing has been computed for ``topology`` yet.
+    """
+    per_topology = _HOP_DISTANCES.get(topology)
+    if not per_topology:
+        return {}
+    return {dst: dict(distances) for dst, distances in per_topology.items()}
+
+
+def adopt_hop_distances(
+    topology: Topology, tables: dict[NodeId, dict[NodeId, int]]
+) -> None:
+    """Seed the hop-distance cache from persisted tables.
+
+    Already-computed destinations are kept (they are authoritative for
+    this process); only missing ones are adopted, so a stale or foreign
+    table can never displace a locally computed BFS result.
+    """
+    per_topology = _HOP_DISTANCES.get(topology)
+    if per_topology is None:
+        per_topology = {}
+        _HOP_DISTANCES[topology] = per_topology
+    for dst, distances in tables.items():
+        per_topology.setdefault(dst, dict(distances))
 
 
 class PathCounter(ABC):

@@ -1,0 +1,61 @@
+"""Lint: the deprecated ``kernel="dict"`` route has no src/ call sites.
+
+The dict kernels survive only as the cross-validation reference the
+array kernels are bit-checked against (DESIGN §10); production code
+must never select them.  This test AST-walks every module under
+``src/`` and fails on any call passing ``kernel="dict"`` — the only
+sanctioned uses live in tests and benchmarks, wrapped in
+:func:`repro.perf.kernels.dict_kernel_reference`.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import warnings
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def _dict_kernel_call_sites(path: Path) -> list[str]:
+    tree = ast.parse(path.read_text(), filename=str(path))
+    sites = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        for keyword in node.keywords:
+            if (
+                keyword.arg == "kernel"
+                and isinstance(keyword.value, ast.Constant)
+                and keyword.value.value == "dict"
+            ):
+                sites.append(f"{path.relative_to(SRC)}:{node.lineno}")
+    return sites
+
+
+def test_no_dict_kernel_call_sites_in_src():
+    offenders = []
+    for root, _dirs, files in os.walk(SRC):
+        for name in sorted(files):
+            if name.endswith(".py"):
+                offenders.extend(_dict_kernel_call_sites(Path(root) / name))
+    assert offenders == [], (
+        'deprecated kernel="dict" call sites in src/ (use the array route, '
+        "or move the reference invocation into a test wrapped in "
+        f"dict_kernel_reference()): {offenders}"
+    )
+
+
+def test_dict_route_warns_outside_reference_block():
+    from repro.perf.kernels import dict_kernel_reference, resolve_kernel
+
+    with pytest.warns(DeprecationWarning, match="cross-validation reference"):
+        assert resolve_kernel("dict") == "dict"
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        with dict_kernel_reference():
+            assert resolve_kernel("dict") == "dict"
+        assert resolve_kernel(None) == "array"

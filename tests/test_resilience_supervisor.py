@@ -597,3 +597,147 @@ class TestCampaignJournal:
         assert summary["sweeps"] == len(sweeps)
         assert summary["supervisor"]["stats"]["supervised_sweeps"] == len(sweeps)
         assert json.dumps(summary)
+
+
+# ----------------------------------------------------------------------
+# Adaptive deadlines: rung-latency EWMAs tighten the watchdog
+# ----------------------------------------------------------------------
+
+class TestAdaptiveDeadlines:
+    def test_ewma_update(self):
+        supervisor = SweepSupervisor(SupervisorPolicy(ewma_alpha=0.5))
+        supervisor.observe_latency("task", 10.0)
+        assert supervisor.latency_ewma["task"] == 10.0
+        supervisor.observe_latency("task", 20.0)
+        assert supervisor.latency_ewma["task"] == 15.0
+        supervisor.observe_latency("task", 0.0)  # non-positive: ignored
+        assert supervisor.latency_ewma["task"] == 15.0
+
+    def test_ladderless_deadline_uses_task_ewma(self):
+        supervisor = SweepSupervisor(
+            SupervisorPolicy(deadline_multiplier=3.0, min_deadline_s=1.0)
+        )
+        assert supervisor.task_deadline_s(None, 100.0) == 300.0
+        supervisor.observe_latency("task", 2.0)
+        assert supervisor.task_deadline_s(None, 100.0) == 6.0
+
+    def test_ladder_deadline_uses_rung_ewma(self):
+        supervisor = SweepSupervisor(
+            SupervisorPolicy(deadline_multiplier=2.0, min_deadline_s=1.0)
+        )
+        ladder = default_ladder(10.0, retries=1)
+        static = supervisor.task_deadline_s(ladder, 10.0)
+        supervisor.observe_latency("sparse+warm", 1.0)
+        adapted = supervisor.task_deadline_s(ladder, 10.0)
+        # sparse+warm contributes 1.0s x 2 attempts instead of 10s x 2.
+        assert adapted == static - 2.0 * (10.0 - 1.0) * 2
+
+    def test_deadline_still_floors_at_minimum(self):
+        supervisor = SweepSupervisor(
+            SupervisorPolicy(deadline_multiplier=3.0, min_deadline_s=30.0)
+        )
+        supervisor.observe_latency("task", 0.001)
+        assert supervisor.task_deadline_s(None, 100.0) == 30.0
+
+    def test_max_deadline_clamps_derivation(self):
+        supervisor = SweepSupervisor(
+            SupervisorPolicy(
+                deadline_multiplier=3.0, min_deadline_s=1.0, max_deadline_s=50.0
+            )
+        )
+        assert supervisor.task_deadline_s(None, 100.0) == 50.0
+        ladder = default_ladder(300.0, retries=1)
+        assert supervisor.task_deadline_s(ladder, 300.0) == 50.0
+
+    def test_explicit_deadline_ignores_observations(self):
+        supervisor = SweepSupervisor(SupervisorPolicy(task_deadline_s=7.5))
+        supervisor.observe_latency("task", 1.0)
+        assert supervisor.task_deadline_s(None, 300.0) == 7.5
+
+    def test_observe_report_feeds_latency_ewma(self):
+        supervisor = SweepSupervisor()
+        supervisor.observe_report({"events": [
+            {"rung": "sparse+warm", "action": "accept",
+             "reason": "", "elapsed_s": 2.0},
+            {"rung": "model", "action": "demote",
+             "reason": "boom", "elapsed_s": 4.0},
+        ]})
+        assert supervisor.latency_ewma["sparse+warm"] == 2.0
+        assert supervisor.latency_ewma["model"] == 4.0
+
+    def test_supervised_sweep_feeds_task_ewma(
+        self, ring_context, ring_scenarios, ring_serial
+    ):
+        supervisor = SweepSupervisor(SupervisorPolicy(poll_interval_s=0.05))
+        with SweepExecutor(max_workers=2) as executor:
+            supervised = _supervised_sweep(
+                ring_context, ring_scenarios, executor, supervisor
+            )
+        assert_sweeps_identical(ring_serial, supervised)
+        # Ladderless sweep: solve wall-clocks feed the generic "task" key.
+        assert supervisor.latency_ewma.get("task", 0.0) > 0.0
+
+
+# ----------------------------------------------------------------------
+# Half-open probe batching: bounded trials for the shm transport
+# ----------------------------------------------------------------------
+
+class TestProbeBatching:
+    def test_probe_quota_states(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            "t", threshold=1, cooldown_s=10.0, clock=clock, probe_batch=3
+        )
+        assert breaker.probe_quota() is None  # closed: unlimited
+        breaker.record_failure()
+        assert breaker.probe_quota() == 0  # open, still cooling
+        clock.advance(10.0)
+        assert breaker.probe_quota() == 3  # trial due...
+        assert breaker.state == BreakerOpenState.OPEN  # ...but pure
+        assert breaker.allow_request()
+        assert breaker.state == BreakerOpenState.HALF_OPEN
+        assert breaker.probe_quota() == 3
+
+    def test_probe_batch_validated(self):
+        with pytest.raises(ValueError, match="probe_batch"):
+            CircuitBreaker("t", probe_batch=0)
+
+    def test_transport_probe_quota_wired_to_policy(self):
+        clock = FakeClock()
+        supervisor = SweepSupervisor(
+            SupervisorPolicy(
+                transport_probe_batch=4,
+                breaker_threshold=1,
+                breaker_cooldown_s=5.0,
+            ),
+            clock=clock,
+        )
+        assert supervisor.transport_probe_quota() is None
+        supervisor.observe_transport(False, "boom")
+        assert supervisor.transport_probe_quota() == 0
+        clock.advance(5.0)
+        assert supervisor.transport_probe_quota() == 4
+        # Rung breakers keep single-unit trials.
+        for rung in BREAKER_RUNGS:
+            assert supervisor.breakers[f"rung:{rung}"].probe_batch == 1
+
+    def test_half_open_probe_round_closes_breaker(
+        self, ring_context, ring_scenarios, ring_serial
+    ):
+        if not shm.shm_available():
+            pytest.skip("no shared-memory transport on this host")
+        supervisor = SweepSupervisor(SupervisorPolicy(
+            poll_interval_s=0.05,
+            breaker_threshold=1,
+            breaker_cooldown_s=0.0,
+            transport_probe_batch=1,
+        ))
+        supervisor.observe_transport(False, "injected for the trial")
+        assert supervisor.breakers[TRANSPORT_BREAKER].state == BreakerOpenState.OPEN
+        with SweepExecutor(max_workers=2) as executor:
+            supervised = _supervised_sweep(
+                ring_context, ring_scenarios, executor, supervisor
+            )
+        assert_sweeps_identical(ring_serial, supervised)
+        # The probe batch crossed shm successfully and closed the breaker.
+        assert supervisor.breakers[TRANSPORT_BREAKER].state == BreakerOpenState.CLOSED
