@@ -18,7 +18,9 @@ keeps ``BENCH_headline.json`` fresh and well-formed.  Timed stages:
 * ``sweep_fanout_pickle_s`` / ``sweep_shm_s`` — the 25-scenario n=40
   heuristic sweep over a pool, classic pickle fan-out versus the
   zero-copy shared-memory transport (the payload sizes land in the
-  headline's ``fanout`` section),
+  headline's ``fanout`` section), each paired with a ``*_solve_s``
+  twin that subtracts the plan-encode and worker-init overhead a warm
+  pool never pays,
 * ``sweep_warmup_s`` / ``sweep_reuse_s`` — the same 25-scenario n=40
   sweep on a persistent :class:`~repro.perf.executor.SweepExecutor`:
   the first sweep pays the pool spawn + context encode once, the second
@@ -46,6 +48,11 @@ keeps ``BENCH_headline.json`` fresh and well-formed.  Timed stages:
 * ``sweep_independent_n40_s`` / ``sweep_incremental_s`` — the exact
   solver over the five n=40 single-failure scenarios, independent
   per-scenario solves versus the Hamming-chained incremental route,
+* ``sweep_batched_lp_baseline_s`` / ``sweep_batched_lp_s`` — the exact
+  solver over the 70 same-shape hub-family scenarios, scenario-at-a-time
+  versus block-diagonal LP batching (``lp_batch=70``, one HiGHS call
+  per stack; CI guards the >=3x same-run speedup and the per-block
+  certificate provenance in the headline's ``batched`` section),
 * ``pm_kernel_s`` / ``pg_kernel_s`` — the vectorized array kernels over
   the full ATT 1+2+3-failure matrix (41 instances), with the dict
   reference timed alongside for the speedup column,
@@ -300,18 +307,33 @@ def test_sweep_fanout_transports(waxman40_context, capsys):
         waxman40_context, scenarios, FAST_ALGORITHMS,
         max_workers=4, min_parallel_tasks=0, transport="pickle",
     )
-    record_sweep("sweep_fanout_pickle_s", time.perf_counter() - start, via_pickle)
+    pickle_wall_s = time.perf_counter() - start
+    record_sweep("sweep_fanout_pickle_s", pickle_wall_s, via_pickle)
     start = time.perf_counter()
     via_shm = parallel_sweep(
         waxman40_context, scenarios, FAST_ALGORITHMS,
         max_workers=4, min_parallel_tasks=0, transport="shm",
     )
-    record_stage("sweep_shm_s", time.perf_counter() - start)
+    shm_wall_s = time.perf_counter() - start
+    record_stage("sweep_shm_s", shm_wall_s)
 
     assert_sweeps_identical(via_pickle, via_shm)
 
     pickle_fan = fanout_summary(via_pickle) or {}
     fan = dict(fanout_summary(via_shm) or {})
+    # The end-to-end stages above include what a warm pool never pays:
+    # the parent-side plan encode and the slowest worker's plan decode.
+    # These twins subtract both, so the transports' *solve* shares are
+    # comparable to the warm-executor stages.
+    pickle_overhead_s = pickle_fan.get("encode_s", 0.0) + (
+        pickle_fan.get("worker_init_s") or 0.0
+    )
+    record_stage(
+        "sweep_fanout_pickle_solve_s",
+        max(0.0, pickle_wall_s - pickle_overhead_s),
+    )
+    shm_overhead_s = fan.get("encode_s", 0.0) + (fan.get("worker_init_s") or 0.0)
+    record_stage("sweep_shm_solve_s", max(0.0, shm_wall_s - shm_overhead_s))
     fan["pickle_payload_bytes"] = pickle_fan.get("payload_bytes", 0)
     record_fanout(fan)
     if fan.get("transport") == "shm":
@@ -685,3 +707,81 @@ def test_sweep_incremental_chain(waxman40_context, capsys):
                 ],
             )
         )
+
+
+def test_sweep_batched_lp(capsys):
+    """Block-diagonal LP batching: 70 same-shape exact solves, one stack.
+
+    The hub-capacity family (:func:`~repro.experiments.scenarios.
+    hub_capacity_context`) yields 70 structurally identical scenarios
+    whose exact solves all accept through the LP-relaxation certificate
+    — the shape the batcher exists for.  ``sweep_batched_lp_baseline_s``
+    runs them scenario-at-a-time on the sparse route;
+    ``sweep_batched_lp_s`` stacks them into one block-diagonal HiGHS
+    call per batch.  ``check_headline.py`` enforces the >=3x same-run
+    speedup and the per-scenario <= ``sweep_independent_n40_s`` bound;
+    this test asserts bit-identical answers and per-block certificate
+    provenance.
+    """
+    from conftest import record_batched
+    from repro.experiments.scenarios import hub_capacity_context
+    from repro.perf.sweep import parallel_sweep
+
+    hub_context, scenarios = hub_capacity_context()
+    algorithms = ("optimal",)
+
+    start = time.perf_counter()
+    baseline = parallel_sweep(
+        hub_context, scenarios, algorithms,
+        optimal_time_limit_s=120.0, max_workers=1,
+    )
+    baseline_s = time.perf_counter() - start
+    record_sweep("sweep_batched_lp_baseline_s", baseline_s, baseline)
+    start = time.perf_counter()
+    batched = parallel_sweep(
+        hub_context, scenarios, algorithms,
+        optimal_time_limit_s=120.0, max_workers=1, lp_batch=len(scenarios),
+    )
+    batched_s = time.perf_counter() - start
+    record_sweep("sweep_batched_lp_s", batched_s, batched)
+
+    assert_sweeps_identical(baseline, batched)
+    summary = {
+        "scenarios": len(scenarios),
+        "stacked": 0,
+        "fallback": 0,
+        "certificates": 0,
+        "speedup": round(baseline_s / batched_s, 2) if batched_s else None,
+    }
+    for base_result, result in zip(baseline, batched):
+        base_sol = base_result.solutions["optimal"]
+        solution = result.solutions["optimal"]
+        assert solution.meta.get("objective") == base_sol.meta.get("objective")
+        # CI contract: the batched route must report per-block
+        # certificate provenance, not just a bare answer.
+        provenance = solution.meta.get("batch")
+        assert provenance is not None, "batched solve missing meta['batch']"
+        assert "certificate" in provenance, provenance
+        if provenance["route"] == "stack":
+            summary["stacked"] += 1
+        else:
+            summary["fallback"] += 1
+        if provenance["certificate"]:
+            summary["certificates"] += 1
+    record_batched(summary)
+    assert summary["stacked"] == len(scenarios), summary
+    assert summary["certificates"] == len(scenarios), summary
+
+    with capsys.disabled():
+        print()
+        print("=== Batched exact sweep (70 same-shape hub scenarios) ===")
+        print(
+            render_table(
+                ("route", "wall (s)"),
+                [
+                    ("scenario-at-a-time", f"{baseline_s:.3f}"),
+                    (f"lp_batch={len(scenarios)}", f"{batched_s:.3f}"),
+                ],
+            )
+        )
+        print(f"speedup: {baseline_s / batched_s:.1f}x")

@@ -43,11 +43,19 @@ class DelayModel:
         self._topology = topology
         self._mode = mode
         self._routed_cache: dict[NodeId, dict[NodeId, float]] = {}
+        self._geo_cache: dict[tuple[NodeId, NodeId], float] = {}
 
     @property
     def mode(self) -> str:
         """The delay interpretation in use."""
         return self._mode
+
+    def __getstate__(self) -> dict:
+        """Drop the memo caches when pickling (workers rebuild on demand)."""
+        state = self.__dict__.copy()
+        state["_routed_cache"] = {}
+        state["_geo_cache"] = {}
+        return state
 
     def delay_ms(self, switch: NodeId, site: NodeId) -> float:
         """One-way delay between a switch and a controller site, in ms."""
@@ -56,7 +64,12 @@ class DelayModel:
         if switch == site:
             return 0.0
         if self._mode == "geodesic":
-            return self._topology.geo_delay_ms(switch, site)
+            key = (switch, site)
+            cached = self._geo_cache.get(key)
+            if cached is None:
+                cached = self._topology.geo_delay_ms(switch, site)
+                self._geo_cache[key] = cached
+            return cached
         if site not in self._routed_cache:
             self._routed_cache[site] = dict(
                 nx.single_source_dijkstra_path_length(

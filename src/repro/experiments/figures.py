@@ -79,6 +79,7 @@ def failure_figure_data(
     max_workers: int | None = None,
     executor: object = None,
     store: object = None,
+    lp_batch: int | None = None,
 ) -> dict[str, Any]:
     """All per-case series for an ``n_failures``-failure figure.
 
@@ -91,7 +92,9 @@ def failure_figure_data(
     (:class:`~repro.perf.executor.SweepExecutor`) when generating
     several figures over one context.  ``store`` memoizes solves in a
     :class:`~repro.perf.store.SolveStore`, so regenerating a figure
-    replays earlier runs' solves bit-identically.
+    replays earlier runs' solves bit-identically.  ``lp_batch``
+    batches same-shaped exact solves into block-diagonal LPs
+    (:mod:`repro.perf.batch`) — bit-identical, one HiGHS call per batch.
     """
     if results is None:
         if parallel:
@@ -103,6 +106,7 @@ def failure_figure_data(
                 max_workers=max_workers,
                 executor=executor,
                 store=store,
+                lp_batch=lp_batch,
             )
         else:
             results = run_failure_sweep(
@@ -141,6 +145,7 @@ def fig7_data(
     max_workers: int | None = None,
     executor: object = None,
     store: object = None,
+    lp_batch: int | None = None,
 ) -> dict[str, Any]:
     """Fig. 7 — PM computation time as a percentage of Optimal's.
 
@@ -164,6 +169,7 @@ def fig7_data(
                 max_workers=max_workers,
                 executor=executor,
                 store=store,
+                lp_batch=lp_batch,
             )
         else:
             results = run_failure_sweep(

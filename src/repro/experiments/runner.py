@@ -140,6 +140,7 @@ def run_failure_sweep_parallel(
     executor: object = None,
     supervisor: object = None,
     store: object = None,
+    lp_batch: int | None = None,
 ) -> list[ScenarioResult]:
     """:func:`run_failure_sweep` fanned over a process pool.
 
@@ -169,6 +170,9 @@ def run_failure_sweep_parallel(
     ``docs/robustness.md``.  ``store`` memoizes solves across runs and
     parent processes through a :class:`~repro.perf.store.SolveStore`
     (content-addressed, bit-identical hits; see ``docs/performance.md``).
+    ``lp_batch`` stacks same-shaped exact solves into block-diagonal LP
+    relaxations solved one HiGHS call per batch (:mod:`repro.perf.batch`)
+    — another bit-identical execution strategy.
     """
     from repro.perf.sweep import parallel_sweep
 
@@ -189,4 +193,5 @@ def run_failure_sweep_parallel(
         executor=executor,
         supervisor=supervisor,
         store=store,
+        lp_batch=lp_batch,
     )

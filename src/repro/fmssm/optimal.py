@@ -427,6 +427,7 @@ def solve_optimal(
     raise_on_timeout: bool = False,
     validate: bool = True,
     warm_chain: WarmChain | None = None,
+    lp_batch: int | None = None,
 ) -> RecoverySolution:
     """Solve P′ to optimality and return the recovery solution.
 
@@ -465,8 +466,36 @@ def solve_optimal(
         state through an incremental sweep (sparse route only; ignored
         by the model route).  Never changes non-degraded answers — see
         the :class:`WarmChain` docstring.
+    lp_batch:
+        Any value >= 1 routes the solve through
+        :func:`repro.perf.batch.solve_optimal_batch` (as a batch of
+        one) — same answer bit for bit, with ``meta["batch"]``
+        provenance added.  Sweeps pass ``lp_batch`` >= 2 to
+        :func:`repro.perf.sweep.parallel_sweep` instead, which groups
+        same-shaped scenarios into real multi-block batches.  Only the
+        sparse route with the PM warm start batches; other
+        configurations ignore the knob.
     """
     chaos.check("optimal.solve")
+    if (
+        lp_batch is not None
+        and lp_batch >= 1
+        and compile == "sparse"
+        and warm_start == "pm"
+    ):
+        from repro.perf.batch import solve_optimal_batch
+
+        return solve_optimal_batch(
+            [instance],
+            solver=solver,
+            time_limit_s=time_limit_s,
+            require_full_recovery=require_full_recovery,
+            enforce_delay=enforce_delay,
+            compiler=compiler,
+            raise_on_timeout=raise_on_timeout,
+            validate=validate,
+            warm_chain=warm_chain,
+        )[0]
     if compile == "sparse":
         solution = _solve_optimal_sparse(
             instance,

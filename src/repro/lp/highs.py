@@ -119,7 +119,10 @@ def solve_form_with_highs(
 
 
 def solve_form_relaxation(
-    form: StandardForm, basis: object | None = None
+    form: StandardForm,
+    basis: object | None = None,
+    method: str = "highs",
+    options: dict | None = None,
 ) -> SolveResult:
     """Solve the LP relaxation of ``form`` (integrality dropped).
 
@@ -135,6 +138,11 @@ def solve_form_relaxation(
     incremental sweep's bit-identity guarantee relies on.  A backend
     that does crossover from a basis (e.g. ``highspy``, when installed)
     may plug in here; it must still return the same optimal objective.
+
+    ``method``/``options`` pass straight through to ``linprog``; the
+    batched block-diagonal path selects the dual simplex with presolve
+    off (``method="highs-ds"``), which wins on its small reduced blocks
+    while the default stays optimal for full-size single solves.
     """
     chaos.check("highs.relax")
     del basis  # no basis API in scipy's linprog; accepted for interface parity
@@ -146,7 +154,8 @@ def solve_form_relaxation(
         A_eq=form.a_eq if form.a_eq.shape[0] else None,
         b_eq=form.b_eq if form.a_eq.shape[0] else None,
         bounds=np.column_stack([form.lb, form.ub]),
-        method="highs",
+        method=method,
+        options=options,
     )
     elapsed = time.perf_counter() - start
     if raw.status == 2:

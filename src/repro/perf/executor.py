@@ -145,6 +145,7 @@ class _SweepParams:
     validate: bool
     chaos_plan: object
     shapes: dict = field(default_factory=dict)
+    lp_batch: "int | None" = None
 
 
 class SweepExecutor:
@@ -468,6 +469,7 @@ def _warm_plan(header: WarmHeader):
             params.ladder,
             params.validate,
             params.chaos_plan,
+            lp_batch=params.lp_batch,
         )
         if params.shapes:
             from repro.perf.compile import default_compiler
@@ -496,6 +498,20 @@ def _warm_run_chunk(header: WarmHeader, tasks: Sequence[tuple[int, str]]):
 
     plan = _warm_plan(header)
     rows = [_task_rows(plan, task) for task in tasks]
+    stats = worker_cache_stats()
+    return [row + (stats,) for row in rows]
+
+
+def _warm_run_batch(header: WarmHeader, tasks: Sequence[tuple[int, str]]):
+    """Warm-pool twin of :func:`repro.perf.sweep._run_batch_chunk`.
+
+    The worker accumulates its chunk's compiled ``optimal`` forms into
+    block-diagonal LP batches (flushing at the plan's ``lp_batch`` size
+    and at the chunk boundary) before calling HiGHS.
+    """
+    from repro.perf.sweep import _batched_rows
+
+    rows = _batched_rows(_warm_plan(header), tasks)
     stats = worker_cache_stats()
     return [row + (stats,) for row in rows]
 
@@ -586,7 +602,8 @@ def run_campaign(
     the campaign's sweeps (see :mod:`repro.resilience.supervisor`).
 
     ``executor=None`` uses :func:`get_default_executor` (left open for
-    later campaigns); additional keyword arguments pass through to
+    later campaigns); additional keyword arguments — ``lp_batch=`` for
+    block-diagonal LP batching included — pass through to
     :func:`~repro.perf.sweep.parallel_sweep`.  A cross-run
     :class:`~repro.perf.store.SolveStore` (``store=`` here or attached
     to the executor) memoizes every sweep of the campaign; the store's

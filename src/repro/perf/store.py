@@ -76,11 +76,45 @@ __all__ = [
     "solution_from_canonical",
     "evaluation_from_canonical",
     "decode_record",
+    "decoded_cache_stats",
+    "set_decoded_cache_cap",
     "solve_key",
     "topology_fingerprint",
 ]
 
 STORE_SCHEMA = 1
+
+#: Max decoded ``(algorithm, sha)`` pairs memoized per canonical
+#: instance; least-recently-used entries are evicted past the cap.
+#: Configurable via :func:`set_decoded_cache_cap`.
+DECODED_CACHE_CAP = 64
+
+#: Process-wide decoded-object cache telemetry (see
+#: :func:`decoded_cache_stats`).
+_DECODED_STATS = {"hits": 0, "misses": 0, "evictions": 0}
+
+
+def set_decoded_cache_cap(cap: int) -> int:
+    """Set the per-instance decoded-object cache cap; returns the old one.
+
+    The cap bounds how many decoded ``(algorithm, sha)`` records each
+    :class:`CanonicalInstance` memoizes (:func:`decode_record`); caps
+    below 1 are clamped to 1 so repeat hits of the *same* record still
+    avoid re-decoding.
+    """
+    global DECODED_CACHE_CAP
+    old, DECODED_CACHE_CAP = DECODED_CACHE_CAP, max(1, int(cap))
+    return old
+
+
+def decoded_cache_stats() -> dict[str, int]:
+    """Snapshot of the decoded-object cache counters (this process).
+
+    ``hits``/``misses`` count :func:`decode_record` lookups by content
+    sha; ``evictions`` counts entries dropped by the LRU cap.  Sweeps
+    stamp the per-sweep delta on ``meta["store"]["decoded"]``.
+    """
+    return dict(_DECODED_STATS)
 
 #: Version tag mixed into every fingerprint: bump to invalidate stores
 #: when the hashed content or the relabeling convention changes.
@@ -531,12 +565,17 @@ def decode_record(
     tuple hashing.  The cache key is ``(algorithm, sha)``: the sha pins
     the payload bytes, the canon pins the label space, so a record
     GC'd and re-solved (fresh ``solve_time_s``) can never alias a
-    stale decode.  ``evaluation`` is ``None`` for records predating
-    stored evaluations.
+    stale decode.  The cache is LRU-bounded to :data:`DECODED_CACHE_CAP`
+    entries per canon (a campaign probing many algorithms over one
+    fingerprint must not pin every decode forever); evictions are
+    counted in :func:`decoded_cache_stats`.  ``evaluation`` is ``None``
+    for records predating stored evaluations.
     """
+    from collections import OrderedDict
+
     cache = canon.__dict__.get("_decoded")
     if cache is None:
-        cache = {}
+        cache = OrderedDict()
         object.__setattr__(canon, "_decoded", cache)
     token = (algorithm, sha)
     cached = cache.get(token) if sha is not None else None
@@ -549,11 +588,17 @@ def decode_record(
             else None
         )
         if sha is not None:
+            _DECODED_STATS["misses"] += 1
             cache[token] = (solution, evaluation)
+            while len(cache) > max(1, DECODED_CACHE_CAP):
+                cache.popitem(last=False)
+                _DECODED_STATS["evictions"] += 1
             return _clone_solution(solution), (
                 None if evaluation is None else _clone_evaluation(evaluation)
             )
         return solution, evaluation
+    _DECODED_STATS["hits"] += 1
+    cache.move_to_end(token)
     solution, evaluation = cached
     return _clone_solution(solution), (
         None if evaluation is None else _clone_evaluation(evaluation)

@@ -137,6 +137,9 @@ class SweepPlan:
     ladder: LadderPolicy | None = None
     validate: bool = False
     chaos_plan: "chaos.ChaosPlan | None" = field(default=None)
+    #: Batch size for block-diagonal LP solving of ``optimal`` tasks
+    #: (:mod:`repro.perf.batch`); ``None`` keeps scenario-at-a-time.
+    lp_batch: int | None = None
 
 
 @dataclass
@@ -165,6 +168,7 @@ class ShmPlanData:
     validate: bool = False
     chaos_plan: "chaos.ChaosPlan | None" = field(default=None)
     shapes: dict[tuple[int, int, int], dict[str, object]] = field(default_factory=dict)
+    lp_batch: int | None = None
 
     def rebuild_context(self) -> "ExperimentContext":  # noqa: F821
         """Reconstruct an :class:`ExperimentContext` around the arrays.
@@ -228,6 +232,7 @@ def _init_worker_shm(payload: SharedPayload) -> None:
         data.ladder,
         data.validate,
         data.chaos_plan,
+        lp_batch=data.lp_batch,
     )
     if data.chaos_plan is not None:
         chaos.install(data.chaos_plan)
@@ -326,7 +331,15 @@ def _chain_rows(
     solves so each inherits the previous scenario's repaired solution
     and LP basis.  Every (scenario, algorithm) still passes the
     ``sweep.task`` chaos site individually, like independent tasks do.
+
+    Under an LP-batching plan the segment delegates to
+    :func:`_batched_rows` in chain order: the chain's warm seeds become
+    per-block warm starts for the stacked solves (they only matter on
+    degraded members, so batching cannot change the answers).
     """
+    if _lp_batchable(plan):
+        flat = [(i, a) for i, algorithms in segment for a in algorithms]
+        return _batched_rows(plan, flat, warm_chain=WarmChain())
     warm_chain = WarmChain()
     out: list[_TaskResult] = []
     for index, algorithms in segment:
@@ -362,6 +375,118 @@ def _run_chain_task(
     return _chain_rows(_WORKER["plan"], segment)
 
 
+def _lp_batchable(plan: SweepPlan) -> bool:
+    """Whether ``plan`` routes ``optimal`` solves through the LP batcher.
+
+    Batching requires the sparse compile route (the batcher stacks the
+    sparse blocks) and no ladder (rung demotions are per-scenario by
+    contract, so ladder runs stay scenario-at-a-time).
+    """
+    return (
+        plan.lp_batch is not None
+        and plan.lp_batch >= 1
+        and plan.ladder is None
+        and plan.optimal_compile == "sparse"
+    )
+
+
+def _batched_rows(
+    plan: SweepPlan,
+    tasks: Sequence[tuple[int, str]],
+    instance_of=None,
+    warm_chain: WarmChain | None = None,
+) -> list[_TaskResult]:
+    """Run ``tasks`` with ``optimal`` solves batched into stacked LPs.
+
+    The scenario-at-a-time equivalent of this function is the
+    ``run_serial`` task loop; results are bit-identical (see
+    :func:`repro.perf.batch.solve_optimal_batch` for why), only the
+    execution order changes: ``optimal`` tasks are grouped by structural
+    (N, M, P) shape, chunked to ``plan.lp_batch``, and each chunk is
+    solved through one block-diagonal relaxation.  Every task still
+    passes the ``sweep.task`` chaos site exactly once, and every
+    scenario's solutions are evaluated in one batch in task order.
+
+    ``instance_of`` overrides instance grounding (the runner passes its
+    store-probe cache); ``warm_chain`` threads incremental-chain state
+    through the batch (chunk members become per-block warm seeds).
+    """
+    from repro.perf.batch import solve_optimal_batch
+
+    if instance_of is None:
+        def instance_of(index: int) -> FMSSMInstance:
+            return plan.context.instance(plan.scenarios[index])
+
+    by_scenario: dict[int, list[str]] = {}
+    for index, algorithm in tasks:
+        by_scenario.setdefault(index, []).append(algorithm)
+    instances: dict[int, FMSSMInstance] = {}
+    for index in by_scenario:
+        instance = instance_of(index)
+        prepare_instance(instance)
+        instances[index] = instance
+
+    # Stack the optimal solves: group by shape so blocks share one
+    # (N, M, P) template, then chunk each group to the batch size.
+    groups: dict[tuple[int, int, int], list[int]] = {}
+    for index, algorithms in by_scenario.items():
+        if "optimal" in algorithms:
+            instance = instances[index]
+            shape = (
+                len(instance.switches),
+                len(instance.controllers),
+                len(instance.pairs),
+            )
+            groups.setdefault(shape, []).append(index)
+    solutions: dict[int, RecoverySolution] = {}
+    size = max(1, int(plan.lp_batch or 1))
+    for shape in groups:
+        members = groups[shape]
+        for k in range(0, len(members), size):
+            chunk = members[k:k + size]
+            for _ in chunk:
+                chaos.check("sweep.task")
+            batch = solve_optimal_batch(
+                [instances[i] for i in chunk],
+                time_limit_s=plan.optimal_time_limit_s,
+                warm_chain=warm_chain,
+            )
+            for index, solution in zip(chunk, batch):
+                solutions[index] = solution
+
+    out: list[_TaskResult] = []
+    for index, algorithms in by_scenario.items():
+        instance = instances[index]
+        solved = []
+        for algorithm in algorithms:
+            if algorithm == "optimal" and index in solutions:
+                solved.append((algorithm, solutions[index], None))
+                continue
+            chaos.check("sweep.task")
+            solution, report = _solve(
+                instance,
+                algorithm,
+                plan.optimal_time_limit_s,
+                plan.optimal_compile,
+                plan.ladder,
+                plan.validate,
+            )
+            solved.append((algorithm, solution, report))
+        evaluations = evaluate_batch(instance, [sol for _, sol, _ in solved])
+        for (algorithm, solution, report), evaluation in zip(solved, evaluations):
+            out.append((
+                index, algorithm, solution, evaluation,
+                None if report is None else report.to_dict(),
+                _WORKER.get("init_s"),
+            ))
+    return out
+
+
+def _run_batch_chunk(tasks: Sequence[tuple[int, str]]) -> list[_TaskResult]:
+    """Worker body: run one LP-batched task chunk from the shipped plan."""
+    return _batched_rows(_WORKER["plan"], tasks)
+
+
 class _SweepRunner:
     """One sweep execution: slots, checkpointing, and degradation audit."""
 
@@ -379,6 +504,7 @@ class _SweepRunner:
         transport: str = "auto",
         incremental: bool = False,
         store: SolveStore | None = None,
+        lp_batch: int | None = None,
     ) -> None:
         from repro.experiments.runner import ScenarioResult
 
@@ -394,6 +520,7 @@ class _SweepRunner:
         self.transport = transport
         self.incremental = incremental
         self.store = store
+        self.lp_batch = lp_batch
         #: (index, algorithm) tasks withheld from the pool because an
         #: equivalent scenario (same instance fingerprint) solves them;
         #: values name the representative index.  Settled after the run.
@@ -629,7 +756,9 @@ class _SweepRunner:
         ``meta["store"]``.
         """
         from repro.perf.kernels import adopt_instance_prep
+        from repro.perf.store import decoded_cache_stats
 
+        self._decoded_stats0 = decoded_cache_stats()
         self._prime_intermediates()
         representatives: dict[str, int] = {}
         for index in range(len(self.scenarios)):
@@ -748,6 +877,14 @@ class _SweepRunner:
         if records:
             self.store.put_many(records)
         self._persist_intermediates()
+        base = getattr(self, "_decoded_stats0", None)
+        if base is not None:
+            from repro.perf.store import decoded_cache_stats
+
+            stats = decoded_cache_stats()
+            decoded = {k: stats[k] - base.get(k, 0) for k in stats}
+            for provenance in self._provenance.values():
+                provenance["decoded"] = dict(decoded)
         for index, provenance in self._provenance.items():
             self.results[index].meta["store"] = dict(provenance)
 
@@ -774,15 +911,42 @@ class _SweepRunner:
         ]
 
     # -- execution -----------------------------------------------------
+    def _as_plan(self) -> SweepPlan:
+        """This runner's settings as a :class:`SweepPlan` (serial batching)."""
+        return SweepPlan(
+            self.context,
+            self.scenarios,
+            self.optimal_time_limit_s,
+            self.optimal_compile,
+            self.ladder,
+            self.validate,
+            lp_batch=self.lp_batch,
+        )
+
+    def _batched(self) -> bool:
+        """Whether this sweep fans ``optimal`` tasks out in LP batches."""
+        return (
+            _lp_batchable(self._as_plan())
+            and any(a in _HEAVY_ALGORITHMS for a in self.algorithms)
+        )
+
     def run_serial(self, tasks: Sequence[tuple[int, str]]) -> None:
         """Solve ``tasks`` in-process, in deterministic order.
 
         With ``incremental=True`` the scenarios run in chain order with
         one warm chain across the whole sweep — results are identical,
-        only the visiting order and solver seeding change.
+        only the visiting order and solver seeding change.  With
+        ``lp_batch`` set, ``optimal`` solves are stacked into
+        block-diagonal LPs (:func:`_batched_rows`) — also bit-identical.
         """
         if self.incremental and tasks:
             for row in self._serial_chain(tasks):
+                self._store(*row)
+            return
+        if tasks and self._batched():
+            for row in _batched_rows(
+                self._as_plan(), tasks, instance_of=self._instance
+            ):
                 self._store(*row)
             return
         for index, group in itertools.groupby(tasks, key=lambda t: t[0]):
@@ -809,6 +973,14 @@ class _SweepRunner:
 
     def _serial_chain(self, tasks: Sequence[tuple[int, str]]):
         """In-process incremental chain (generator of task-result rows)."""
+        if self._batched():
+            (segment,) = self.chain_plan(tasks, 1)
+            flat = [(i, a) for i, algorithms in segment for a in algorithms]
+            yield from _batched_rows(
+                self._as_plan(), flat, instance_of=self._instance,
+                warm_chain=WarmChain(),
+            )
+            return
         warm_chain = WarmChain()
         (segment,) = self.chain_plan(tasks, 1)
         for index, algorithms in segment:
@@ -876,6 +1048,7 @@ class _SweepRunner:
             validate=self.validate,
             chaos_plan=chaos.active_plan(),
             shapes=self._predict_shapes() if heavy else {},
+            lp_batch=self.lp_batch,
         )
 
     def _encode_plan(
@@ -936,6 +1109,7 @@ class _SweepRunner:
                     self.ladder,
                     self.validate,
                     chaos.active_plan(),
+                    lp_batch=self.lp_batch,
                 ),
                 protocol=pickle.HIGHEST_PROTOCOL,
             )
@@ -972,18 +1146,33 @@ class _SweepRunner:
                 max_workers=workers, initializer=initializer, initargs=initargs
             ) as pool:
                 if self.incremental:
+                    chunked = True
                     futures = {
                         pool.submit(_run_chain_task, segment): segment
                         for segment in self.chain_plan(tasks, workers)
                     }
+                elif self._batched():
+                    # Contiguous scenario-major chunks so each worker
+                    # accumulates full LP batches from its own slice.
+                    chunked = True
+                    size = -(-len(tasks) // workers)
+                    futures = {
+                        pool.submit(_run_batch_chunk, chunk): tuple(chunk)
+                        for chunk in (
+                            list(tasks[k * size:(k + 1) * size])
+                            for k in range(workers)
+                        )
+                        if chunk
+                    }
                 else:
+                    chunked = False
                     futures = {pool.submit(_run_task, task): task for task in tasks}
                 pending = set(futures)
                 while pending:
                     done, pending = wait(pending, return_when=FIRST_COMPLETED)
                     for future in done:
                         outcome = future.result()
-                        rows = outcome if self.incremental else [outcome]
+                        rows = outcome if chunked else [outcome]
                         for row in rows:
                             self._store(*row)
         except (OSError, pickle.PicklingError, BrokenProcessPool) as exc:
@@ -1024,6 +1213,7 @@ class _SweepRunner:
                 validate=self.validate,
                 chaos_plan=chaos_plan,
                 shapes=self._predict_shapes() if heavy else {},
+                lp_batch=self.lp_batch,
             ),
             protocol=pickle.HIGHEST_PROTOCOL,
         )
@@ -1079,6 +1269,21 @@ class _SweepRunner:
                 futures = {
                     pool.submit(executor_mod._warm_run_chain, header, segment)
                     for segment in self.chain_plan(tasks, workers)
+                }
+            elif self._batched():
+                # LP batching wants contiguous scenario-major chunks —
+                # each worker accumulates compiled forms from its own
+                # slice into stacked solves, flushing at the batch size
+                # and at its chunk boundary.
+                chunked = True
+                size = -(-len(tasks) // workers)
+                futures = {
+                    pool.submit(executor_mod._warm_run_batch, header, chunk)
+                    for chunk in (
+                        list(tasks[k * size:(k + 1) * size])
+                        for k in range(workers)
+                    )
+                    if chunk
                 }
             elif any(a in _HEAVY_ALGORITHMS for a in self.algorithms):
                 chunked = False
@@ -1331,6 +1536,19 @@ class _SweepRunner:
                             )
                             for segment in self.chain_plan(tasks, workers)
                         ]
+                    elif heavy and self._batched():
+                        # Supervision unit = the whole batch chunk, so a
+                        # batch failure charges only its member scenarios.
+                        chunked = True
+                        size = -(-len(tasks) // workers)
+                        submissions = [
+                            (executor_mod._warm_run_batch, chunk, tuple(chunk))
+                            for chunk in (
+                                list(tasks[k * size:(k + 1) * size])
+                                for k in range(workers)
+                            )
+                            if chunk
+                        ]
                     elif heavy:
                         chunked = False
                         submissions = [
@@ -1567,6 +1785,7 @@ def store_summary(results: "Sequence[ScenarioResult]") -> dict[str, object] | No
     sweep ran without a store (or the store was bypassed under chaos).
     """
     hits = misses = dedup = stamped = 0
+    decoded: dict[str, int] | None = None
     for result in results:
         stamp = result.meta.get("store")
         if stamp is None:
@@ -1576,14 +1795,20 @@ def store_summary(results: "Sequence[ScenarioResult]") -> dict[str, object] | No
         misses += len(stamp.get("misses", ()))
         if stamp.get("dedup_of"):
             dedup += 1
+        if decoded is None and stamp.get("decoded") is not None:
+            # Sweep-level delta, stamped identically on every scenario.
+            decoded = dict(stamp["decoded"])
     if stamped == 0:
         return None
-    return {
+    summary = {
         "scenarios": stamped,
         "hits": hits,
         "misses": misses,
         "dedup": dedup,
     }
+    if decoded is not None:
+        summary["decoded"] = decoded
+    return summary
 
 
 def parallel_sweep(
@@ -1603,6 +1828,7 @@ def parallel_sweep(
     executor: "SweepExecutor | None" = None,  # noqa: F821
     supervisor: "SweepSupervisor | None" = None,  # noqa: F821
     store: SolveStore | None = None,
+    lp_batch: int | None = None,
 ) -> "list[ScenarioResult]":  # noqa: F821
     """Run ``scenarios`` × ``algorithms`` over a process pool.
 
@@ -1661,6 +1887,20 @@ def parallel_sweep(
     Defaults to the executor's store when one is attached.  Under an
     active chaos plan the store is bypassed entirely so fault injection
     still exercises real solves.
+
+    ``lp_batch`` stacks up to that many same-shaped compiled ``optimal``
+    scenarios into one block-diagonal LP relaxation per HiGHS call
+    (:mod:`repro.perf.batch`), amortizing solver setup across the batch.
+    Blocks whose slice fails the per-block certificate fall back to the
+    scenario-at-a-time route individually, so results stay bit-identical
+    and validator-clean.  Requires ``optimal_compile="sparse"`` and no
+    ``ladder`` (silently ignored otherwise); composes with the store
+    (hits settle before fan-out, so they skip the batches), incremental
+    chaining (chain seeds become per-block warm starts), chaos (the
+    ``batch.solve`` site attributes faults per block), and the
+    supervisor (a batch failure charges only its member scenarios).
+    Like ``transport``/``incremental`` it is a pure execution strategy
+    and never enters the checkpoint fingerprint.
     """
     import os
 
@@ -1710,6 +1950,7 @@ def parallel_sweep(
         transport=transport,
         incremental=incremental,
         store=store,
+        lp_batch=lp_batch,
     )
     runner.restore()
     if store is not None:

@@ -560,3 +560,92 @@ print(store.stats["writes"])
         assert sorted(keys) == sorted(
             [f"key-{n}" for n in range(60)] + [f"batch-{n}" for n in range(60)]
         )
+
+
+# ----------------------------------------------------------------------
+# Decoded-object cache: LRU bound, stats, sweep visibility
+# ----------------------------------------------------------------------
+
+class TestDecodedCache:
+    def _record(self, instance, canon):
+        solution = get_algorithm("pm")(instance)
+        return {"solution": canonical_solution(solution, canon)}
+
+    def test_lru_evicts_past_cap_and_counts(self):
+        from conftest import make_tiny_instance
+        from repro.perf.store import (
+            decode_record,
+            decoded_cache_stats,
+            set_decoded_cache_cap,
+        )
+
+        # A fresh instance: its canonical form starts with an empty
+        # decoded cache, so the counter deltas are exact.
+        instance = make_tiny_instance()
+        canon = canonical_instance(instance)
+        record = self._record(instance, canon)
+        old_cap = set_decoded_cache_cap(2)
+        before = decoded_cache_stats()
+        try:
+            for sha in ("a", "b", "c"):  # third insert evicts "a"
+                decode_record(record, canon, instance, "pm", sha=sha)
+            decode_record(record, canon, instance, "pm", sha="b")  # hit
+            decode_record(record, canon, instance, "pm", sha="a")  # miss
+        finally:
+            set_decoded_cache_cap(old_cap)
+        delta = {
+            k: decoded_cache_stats()[k] - before[k] for k in before
+        }
+        assert delta == {"hits": 1, "misses": 4, "evictions": 2}
+
+    def test_cap_clamps_to_one(self):
+        from repro.perf.store import DECODED_CACHE_CAP, set_decoded_cache_cap
+
+        old_cap = set_decoded_cache_cap(0)
+        try:
+            from repro.perf import store as store_mod
+
+            assert store_mod.DECODED_CACHE_CAP == 1
+        finally:
+            set_decoded_cache_cap(old_cap)
+
+    def test_hits_return_independent_clones(self):
+        from conftest import make_tiny_instance
+        from repro.perf.store import decode_record
+
+        instance = make_tiny_instance()
+        canon = canonical_instance(instance)
+        record = self._record(instance, canon)
+        first, _ = decode_record(record, canon, instance, "pm", sha="x")
+        second, _ = decode_record(record, canon, instance, "pm", sha="x")
+        assert first is not second
+        assert first.mapping is not second.mapping
+        first.mapping[999] = 999
+        assert 999 not in second.mapping
+
+    def test_sweep_surfaces_decoded_counters(
+        self, tmp_path, ring_context, ring_scenarios
+    ):
+        """A hot replay stamps the per-sweep decoded-cache delta (with a
+        cap of 1, forced evictions) on every scenario and in the
+        sweep-level summary."""
+        from repro.perf.store import set_decoded_cache_cap
+
+        parallel_sweep(
+            ring_context, ring_scenarios, FAST_ALGORITHMS,
+            max_workers=1, store=SolveStore(tmp_path),
+        )
+        old_cap = set_decoded_cache_cap(1)
+        try:
+            warm = parallel_sweep(
+                ring_context, ring_scenarios, FAST_ALGORITHMS,
+                max_workers=1, store=SolveStore(tmp_path),
+            )
+        finally:
+            set_decoded_cache_cap(old_cap)
+        summary = store_summary(warm)
+        decoded = summary["decoded"]
+        assert decoded["evictions"] > 0
+        assert decoded["misses"] > 0
+        for result in warm:
+            assert result.meta["store"]["decoded"] == decoded
